@@ -1,0 +1,299 @@
+//! Per-training-run privacy accountant.
+//!
+//! The accountant tracks the accumulated RDP curve of a training run and converts it to
+//! `(ε, δ)`-ULDP on demand. One constructor exists per algorithm family in the paper:
+//!
+//! * **ULDP-NAIVE / ULDP-AVG / ULDP-SGD** (Theorems 1 and 3): every round is one Gaussian
+//!   mechanism invocation with user-level sensitivity `C`, so the per-round RDP is
+//!   `α / 2σ²` and the total after `T` rounds is `T·α / 2σ²`.
+//! * **ULDP-AVG with user-level sub-sampling** (Remark 1): every round is one Poisson
+//!   sub-sampled Gaussian mechanism with sampling probability `q`, analysed with Lemma 4.
+//! * **ULDP-GROUP-k** (Theorem 2): every silo runs DP-SGD with record-level Poisson
+//!   sampling rate `γ` for `Q` epochs per round. Record-level RDP composes over `Q·T`
+//!   steps, parallel composition takes the maximum over silos, and the group-privacy
+//!   property of RDP (Lemma 6) lifts the bound to group size `k`; Lemma 2 then yields
+//!   `(ε, δ)`-GDP, which by Proposition 1 is `(ε, δ)`-ULDP once contributions are bounded.
+
+use crate::conversion::{group_epsilon_via_rdp, rdp_to_dp};
+use crate::rdp::{default_orders, gaussian_rdp, subsampled_gaussian_rdp, RdpCurve};
+use serde::{Deserialize, Serialize};
+
+/// Which privacy analysis applies to a training run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AlgorithmPrivacy {
+    /// ULDP-NAIVE / ULDP-AVG / ULDP-SGD: one Gaussian mechanism per round at user level
+    /// (Theorems 1 and 3). `q` is the user-level sub-sampling probability (1.0 = none).
+    UserLevelGaussian {
+        /// Noise multiplier σ.
+        sigma: f64,
+        /// User-level Poisson sub-sampling probability per round.
+        q: f64,
+    },
+    /// ULDP-GROUP-k: record-level DP-SGD inside each silo, lifted by group privacy
+    /// (Theorem 2).
+    GroupDpSgd {
+        /// Noise multiplier σ of the local DP-SGD.
+        sigma: f64,
+        /// Record-level Poisson sampling rate γ of the local DP-SGD.
+        sampling_rate: f64,
+        /// Local steps per round (the paper composes over `Q·T` DP-SGD iterations).
+        steps_per_round: u64,
+        /// Group size `k` (must be a power of two for the Lemma 6 route).
+        group_size: u64,
+    },
+    /// The non-private baseline (DEFAULT / FedAVG): ε is reported as infinity.
+    NonPrivate,
+}
+
+/// Tracks accumulated RDP over training rounds and reports `(ε, δ)`-ULDP.
+///
+/// ```
+/// use uldp_accounting::{Accountant, AlgorithmPrivacy};
+///
+/// // ULDP-AVG with sigma = 5 and no user-level sub-sampling (Theorem 3).
+/// let mut accountant =
+///     Accountant::new(AlgorithmPrivacy::UserLevelGaussian { sigma: 5.0, q: 1.0 });
+/// accountant.step_rounds(100);
+/// let epsilon = accountant.epsilon(1e-5);
+/// assert!(epsilon > 0.0 && epsilon < 15.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Accountant {
+    privacy: AlgorithmPrivacy,
+    per_round: RdpCurve,
+    accumulated: RdpCurve,
+    rounds: u64,
+}
+
+impl Accountant {
+    /// Creates an accountant for the given algorithm with the default order grid.
+    pub fn new(privacy: AlgorithmPrivacy) -> Self {
+        Self::with_orders(privacy, default_orders())
+    }
+
+    /// Creates an accountant using a custom grid of Rényi orders.
+    pub fn with_orders(privacy: AlgorithmPrivacy, orders: Vec<u64>) -> Self {
+        let per_round = match privacy {
+            // A zero noise multiplier gives no differential privacy at all: represent it
+            // as an infinite per-round RDP cost so the reported epsilon is infinite,
+            // matching how noiseless ablation runs are treated in the figures.
+            AlgorithmPrivacy::UserLevelGaussian { sigma, .. }
+            | AlgorithmPrivacy::GroupDpSgd { sigma, .. }
+                if sigma <= 0.0 =>
+            {
+                RdpCurve::from_fn(orders.clone(), |_| f64::INFINITY)
+            }
+            AlgorithmPrivacy::UserLevelGaussian { sigma, q } => {
+                RdpCurve::from_fn(orders.clone(), |a| {
+                    if (q - 1.0).abs() < f64::EPSILON {
+                        gaussian_rdp(a as f64, sigma)
+                    } else {
+                        subsampled_gaussian_rdp(a, q, sigma)
+                    }
+                })
+            }
+            AlgorithmPrivacy::GroupDpSgd { sigma, sampling_rate, steps_per_round, .. } => {
+                RdpCurve::from_fn(orders.clone(), |a| {
+                    subsampled_gaussian_rdp(a, sampling_rate, sigma) * steps_per_round as f64
+                })
+            }
+            AlgorithmPrivacy::NonPrivate => RdpCurve::zero(orders.clone()),
+        };
+        Accountant {
+            privacy,
+            per_round,
+            accumulated: RdpCurve::zero(orders),
+            rounds: 0,
+        }
+    }
+
+    /// Records one completed training round (Lemma 1 composition).
+    pub fn step_round(&mut self) {
+        self.accumulated.compose_with(&self.per_round);
+        self.rounds += 1;
+    }
+
+    /// Records `n` completed training rounds at once.
+    pub fn step_rounds(&mut self, n: u64) {
+        let add = self.per_round.scaled(n as f64);
+        self.accumulated.compose_with(&add);
+        self.rounds += n;
+    }
+
+    /// Number of rounds accounted so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The algorithm privacy description this accountant was built for.
+    pub fn privacy(&self) -> AlgorithmPrivacy {
+        self.privacy
+    }
+
+    /// The accumulated RDP curve.
+    pub fn rdp_curve(&self) -> &RdpCurve {
+        &self.accumulated
+    }
+
+    /// Reports the `(ε, δ)`-ULDP guarantee accumulated so far.
+    ///
+    /// Returns `f64::INFINITY` for the non-private baseline.
+    pub fn epsilon(&self, delta: f64) -> f64 {
+        match self.privacy {
+            AlgorithmPrivacy::NonPrivate => f64::INFINITY,
+            AlgorithmPrivacy::UserLevelGaussian { .. } => {
+                if self.rounds == 0 {
+                    0.0
+                } else {
+                    rdp_to_dp(&self.accumulated, delta).0
+                }
+            }
+            AlgorithmPrivacy::GroupDpSgd { group_size, .. } => {
+                if self.rounds == 0 {
+                    0.0
+                } else {
+                    group_epsilon_via_rdp(&self.accumulated, delta, group_size).0
+                }
+            }
+        }
+    }
+
+    /// Convenience: the ε after exactly `t` rounds without mutating the accountant.
+    pub fn epsilon_after(&self, t: u64, delta: f64) -> f64 {
+        match self.privacy {
+            AlgorithmPrivacy::NonPrivate => f64::INFINITY,
+            _ if t == 0 => 0.0,
+            AlgorithmPrivacy::UserLevelGaussian { .. } => {
+                rdp_to_dp(&self.per_round.scaled(t as f64), delta).0
+            }
+            AlgorithmPrivacy::GroupDpSgd { group_size, .. } => {
+                group_epsilon_via_rdp(&self.per_round.scaled(t as f64), delta, group_size).0
+            }
+        }
+    }
+}
+
+/// Closed-form ε of Theorems 1 and 3 for a single order α (before minimisation).
+///
+/// `ε = T·α/(2σ²) + log((α−1)/α) − (log δ + log α)/(α−1)`.
+pub fn theorem_1_3_epsilon(sigma: f64, rounds: u64, delta: f64, alpha: f64) -> f64 {
+    let rho = rounds as f64 * alpha / (2.0 * sigma * sigma);
+    rho + ((alpha - 1.0) / alpha).ln() - (delta.ln() + alpha.ln()) / (alpha - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_and_avg_share_the_same_bound() {
+        // Theorems 1 and 3 give the same formula; the accountant treats them identically.
+        let mut a = Accountant::new(AlgorithmPrivacy::UserLevelGaussian { sigma: 5.0, q: 1.0 });
+        a.step_rounds(100);
+        let eps = a.epsilon(1e-5);
+        // Minimised over orders, must be at most the value at any fixed order.
+        let at_alpha_20 = theorem_1_3_epsilon(5.0, 100, 1e-5, 20.0);
+        assert!(eps <= at_alpha_20 + 1e-9);
+        assert!(eps > 0.0);
+    }
+
+    #[test]
+    fn epsilon_grows_with_rounds() {
+        let mut a = Accountant::new(AlgorithmPrivacy::UserLevelGaussian { sigma: 5.0, q: 1.0 });
+        a.step_round();
+        let e1 = a.epsilon(1e-5);
+        a.step_rounds(99);
+        let e100 = a.epsilon(1e-5);
+        assert!(e100 > e1);
+        assert_eq!(a.rounds(), 100);
+    }
+
+    #[test]
+    fn subsampling_reduces_epsilon() {
+        let mut full = Accountant::new(AlgorithmPrivacy::UserLevelGaussian { sigma: 5.0, q: 1.0 });
+        let mut sub = Accountant::new(AlgorithmPrivacy::UserLevelGaussian { sigma: 5.0, q: 0.3 });
+        full.step_rounds(50);
+        sub.step_rounds(50);
+        assert!(sub.epsilon(1e-5) < full.epsilon(1e-5));
+    }
+
+    #[test]
+    fn group_dp_sgd_much_larger_than_user_level() {
+        // The core claim of the paper: the GROUP-k route pays a super-linear price.
+        let mut avg = Accountant::new(AlgorithmPrivacy::UserLevelGaussian { sigma: 5.0, q: 1.0 });
+        let mut group = Accountant::new(AlgorithmPrivacy::GroupDpSgd {
+            sigma: 5.0,
+            sampling_rate: 0.05,
+            steps_per_round: 10,
+            group_size: 8,
+        });
+        avg.step_rounds(30);
+        group.step_rounds(30);
+        assert!(group.epsilon(1e-5) > avg.epsilon(1e-5));
+    }
+
+    #[test]
+    fn group_epsilon_grows_with_group_size() {
+        let make = |k: u64| {
+            let mut a = Accountant::new(AlgorithmPrivacy::GroupDpSgd {
+                sigma: 5.0,
+                sampling_rate: 0.01,
+                steps_per_round: 10,
+                group_size: k,
+            });
+            a.step_rounds(20);
+            a.epsilon(1e-5)
+        };
+        let e2 = make(2);
+        let e8 = make(8);
+        let e32 = make(32);
+        assert!(e2 < e8 && e8 < e32, "{e2} {e8} {e32}");
+    }
+
+    #[test]
+    fn zero_sigma_reports_infinite_epsilon() {
+        let mut a = Accountant::new(AlgorithmPrivacy::UserLevelGaussian { sigma: 0.0, q: 1.0 });
+        a.step_rounds(5);
+        assert!(a.epsilon(1e-5).is_infinite());
+        let mut g = Accountant::new(AlgorithmPrivacy::GroupDpSgd {
+            sigma: 0.0,
+            sampling_rate: 0.1,
+            steps_per_round: 2,
+            group_size: 4,
+        });
+        g.step_rounds(5);
+        assert!(g.epsilon(1e-5).is_infinite());
+    }
+
+    #[test]
+    fn non_private_reports_infinity() {
+        let mut a = Accountant::new(AlgorithmPrivacy::NonPrivate);
+        a.step_rounds(10);
+        assert!(a.epsilon(1e-5).is_infinite());
+    }
+
+    #[test]
+    fn zero_rounds_zero_epsilon() {
+        let a = Accountant::new(AlgorithmPrivacy::UserLevelGaussian { sigma: 5.0, q: 1.0 });
+        assert_eq!(a.epsilon(1e-5), 0.0);
+        assert_eq!(a.epsilon_after(0, 1e-5), 0.0);
+    }
+
+    #[test]
+    fn epsilon_after_matches_stepping() {
+        let mut a = Accountant::new(AlgorithmPrivacy::UserLevelGaussian { sigma: 5.0, q: 0.5 });
+        let predicted = a.epsilon_after(25, 1e-5);
+        a.step_rounds(25);
+        let actual = a.epsilon(1e-5);
+        assert!((predicted - actual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_noise_less_epsilon() {
+        let mut lo = Accountant::new(AlgorithmPrivacy::UserLevelGaussian { sigma: 2.0, q: 1.0 });
+        let mut hi = Accountant::new(AlgorithmPrivacy::UserLevelGaussian { sigma: 10.0, q: 1.0 });
+        lo.step_rounds(10);
+        hi.step_rounds(10);
+        assert!(hi.epsilon(1e-5) < lo.epsilon(1e-5));
+    }
+}

@@ -1,0 +1,223 @@
+//! Conversions between RDP, (ε, δ)-DP and group DP (GDP).
+//!
+//! * [`rdp_to_dp`] — Lemma 2 (Balle et al.): an `(α, ρ)`-RDP mechanism satisfies
+//!   `(ρ + log((α−1)/α) − (log δ + log α)/(α−1), δ)`-DP; the reported ε minimises over the
+//!   available orders.
+//! * [`group_rdp`] — Lemma 6 (Mironov): for group size `k = 2^c`, an `(α, ρ(α))`-RDP
+//!   mechanism composed with a `k`-stable transformation satisfies
+//!   `(α / 2^c, 3^c · ρ(α))`-RDP.
+//! * [`dp_to_group_dp`] — Lemma 5: `(ε, δ)`-DP implies `(k, kε, k e^{(k−1)ε} δ)`-GDP.
+//! * [`group_epsilon_via_normal_dp`] — the paper's binary-search procedure (Section 2.2)
+//!   that picks the intermediate δ of Lemma 2 such that the final δ of Lemma 5 matches the
+//!   target, and reports the corresponding GDP ε.
+
+use crate::rdp::RdpCurve;
+
+/// Converts an RDP curve to `(ε, δ)`-DP via Lemma 2, minimising over the orders.
+///
+/// Returns `(ε, best_order)`.
+pub fn rdp_to_dp(curve: &RdpCurve, delta: f64) -> (f64, u64) {
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    let mut best = (f64::INFINITY, 0u64);
+    for (&alpha, &rho) in curve.orders.iter().zip(curve.rho.iter()) {
+        let eps = epsilon_from_rdp(alpha as f64, rho, delta);
+        if eps < best.0 {
+            best = (eps, alpha);
+        }
+    }
+    best
+}
+
+/// The Lemma 2 conversion for a single order.
+pub fn epsilon_from_rdp(alpha: f64, rho: f64, delta: f64) -> f64 {
+    assert!(alpha > 1.0);
+    rho + ((alpha - 1.0) / alpha).ln() - (delta.ln() + alpha.ln()) / (alpha - 1.0)
+}
+
+/// The group-privacy property of RDP (Lemma 6).
+///
+/// Given the *per-mechanism* RDP curve, produces the RDP curve that holds when neighbouring
+/// databases differ in up to `k = 2^c` records. The output curve is defined on the orders
+/// `α` for which `α · 2^c` exists in the input grid; its value is `3^c · ρ(α · 2^c)`.
+///
+/// # Panics
+/// Panics if `k` is not a power of two.
+pub fn group_rdp(curve: &RdpCurve, k: u64) -> RdpCurve {
+    assert!(k.is_power_of_two(), "group size must be a power of two (Lemma 6)");
+    let c = k.trailing_zeros() as u32;
+    let factor = 3f64.powi(c as i32);
+    let mut orders = Vec::new();
+    let mut rho = Vec::new();
+    for (&alpha, &_r) in curve.orders.iter().zip(curve.rho.iter()) {
+        // We need rho at alpha * 2^c; only keep orders where that value is tabulated.
+        let target = alpha.checked_mul(k);
+        if let Some(target) = target {
+            if let Some(base_rho) = curve.rho_at(target) {
+                orders.push(alpha);
+                rho.push(factor * base_rho);
+            }
+        }
+    }
+    RdpCurve { orders, rho }
+}
+
+/// Group DP ε for a fixed δ via the RDP route: Lemma 6 followed by Lemma 2.
+///
+/// Returns `(ε, best_order)`; the order refers to the *group* RDP curve.
+pub fn group_epsilon_via_rdp(curve: &RdpCurve, delta: f64, k: u64) -> (f64, u64) {
+    if k == 1 {
+        return rdp_to_dp(curve, delta);
+    }
+    let grouped = group_rdp(curve, k);
+    assert!(
+        !grouped.orders.is_empty(),
+        "order grid is too small for group size {k}; extend the grid"
+    );
+    rdp_to_dp(&grouped, delta)
+}
+
+/// Lemma 5: `(ε, δ)`-DP implies `(k, kε, k e^{(k−1)ε} δ)`-GDP.
+///
+/// Returns `(group_epsilon, group_delta)`.
+pub fn dp_to_group_dp(epsilon: f64, delta: f64, k: u64) -> (f64, f64) {
+    let kf = k as f64;
+    let group_eps = kf * epsilon;
+    let group_delta = kf * ((kf - 1.0) * epsilon).exp() * delta;
+    (group_eps, group_delta)
+}
+
+/// Group DP ε at a fixed target δ via the *normal DP* route (Lemma 2 then Lemma 5),
+/// following the binary-search procedure described in Section 2.2 of the paper.
+///
+/// The intermediate δ fed into Lemma 2 is searched so that the final δ produced by
+/// Lemma 5 matches `target_delta` within `tolerance` (relative).
+pub fn group_epsilon_via_normal_dp(
+    curve: &RdpCurve,
+    target_delta: f64,
+    k: u64,
+    tolerance: f64,
+) -> f64 {
+    if k == 1 {
+        return rdp_to_dp(curve, target_delta).0;
+    }
+    let kf = k as f64;
+    // final_delta(d) = k * exp((k-1) * eps(d)) * d is increasing in d, so binary search.
+    let final_delta = |d: f64| -> f64 {
+        let (eps, _) = rdp_to_dp(curve, d);
+        kf * ((kf - 1.0) * eps).exp() * d
+    };
+    let mut lo = f64::MIN_POSITIVE.max(1e-300);
+    let mut hi = target_delta / kf; // final delta >= k * d, so d <= target/k
+    if final_delta(hi) < target_delta {
+        // Should not happen, but fall back gracefully.
+        let (eps, _) = rdp_to_dp(curve, hi);
+        return kf * eps;
+    }
+    for _ in 0..200 {
+        let mid = (lo.ln() + hi.ln()) / 2.0; // geometric bisection for tiny deltas
+        let mid = mid.exp();
+        let fd = final_delta(mid);
+        if fd > target_delta {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if (fd - target_delta).abs() / target_delta < tolerance {
+            break;
+        }
+    }
+    let d = lo;
+    let (eps, _) = rdp_to_dp(curve, d);
+    kf * eps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdp::{default_orders, gaussian_rdp, RdpCurve};
+
+    fn gaussian_curve(sigma: f64, steps: f64) -> RdpCurve {
+        RdpCurve::from_fn(default_orders(), |a| gaussian_rdp(a as f64, sigma) * steps)
+    }
+
+    #[test]
+    fn rdp_to_dp_single_gaussian_matches_known_value() {
+        // For sigma=1, one step, delta=1e-5 the optimal epsilon is around 3.5-4.7
+        // (analytic Gaussian DP gives ~3.5; the RDP conversion is slightly looser).
+        let curve = gaussian_curve(1.0, 1.0);
+        let (eps, _) = rdp_to_dp(&curve, 1e-5);
+        assert!(eps > 3.0 && eps < 5.5, "eps = {eps}");
+    }
+
+    #[test]
+    fn epsilon_decreases_with_delta() {
+        let curve = gaussian_curve(2.0, 10.0);
+        let strict = rdp_to_dp(&curve, 1e-9).0;
+        let loose = rdp_to_dp(&curve, 1e-3).0;
+        assert!(strict > loose);
+    }
+
+    #[test]
+    fn epsilon_increases_with_steps() {
+        let one = rdp_to_dp(&gaussian_curve(5.0, 1.0), 1e-5).0;
+        let many = rdp_to_dp(&gaussian_curve(5.0, 100.0), 1e-5).0;
+        assert!(many > one);
+    }
+
+    #[test]
+    fn group_rdp_identity_for_k1() {
+        let curve = gaussian_curve(5.0, 10.0);
+        let (e1, _) = group_epsilon_via_rdp(&curve, 1e-5, 1);
+        let (e2, _) = rdp_to_dp(&curve, 1e-5);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn group_rdp_grows_with_k() {
+        let curve = gaussian_curve(5.0, 100.0);
+        let e1 = group_epsilon_via_rdp(&curve, 1e-5, 1).0;
+        let e2 = group_epsilon_via_rdp(&curve, 1e-5, 2).0;
+        let e4 = group_epsilon_via_rdp(&curve, 1e-5, 4).0;
+        let e8 = group_epsilon_via_rdp(&curve, 1e-5, 8).0;
+        assert!(e1 < e2 && e2 < e4 && e4 < e8, "{e1} {e2} {e4} {e8}");
+        // Super-linear degradation: epsilon for k=8 is much more than 8x the base.
+        assert!(e8 > 3.0 * e1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn group_rdp_rejects_non_power_of_two() {
+        let curve = gaussian_curve(5.0, 1.0);
+        let _ = group_rdp(&curve, 3);
+    }
+
+    #[test]
+    fn lemma5_formula() {
+        let (ge, gd) = dp_to_group_dp(1.0, 1e-5, 4);
+        assert!((ge - 4.0).abs() < 1e-12);
+        assert!((gd - 4.0 * (3.0f64).exp() * 1e-5).abs() < 1e-12);
+        // k = 1 is the identity
+        let (ge1, gd1) = dp_to_group_dp(1.0, 1e-5, 1);
+        assert_eq!(ge1, 1.0);
+        assert_eq!(gd1, 1e-5);
+    }
+
+    #[test]
+    fn normal_dp_route_grows_with_k() {
+        let curve = gaussian_curve(5.0, 100.0);
+        let e1 = group_epsilon_via_normal_dp(&curve, 1e-5, 1, 1e-6);
+        let e2 = group_epsilon_via_normal_dp(&curve, 1e-5, 2, 1e-6);
+        let e8 = group_epsilon_via_normal_dp(&curve, 1e-5, 8, 1e-6);
+        assert!(e1 < e2 && e2 < e8);
+    }
+
+    #[test]
+    fn both_routes_are_same_order_of_magnitude_for_small_k() {
+        // The paper reports the two conversions differ by roughly 3x at most for small k.
+        let curve = gaussian_curve(5.0, 1000.0);
+        let rdp_route = group_epsilon_via_rdp(&curve, 1e-5, 4).0;
+        let dp_route = group_epsilon_via_normal_dp(&curve, 1e-5, 4, 1e-6);
+        let ratio = rdp_route.max(dp_route) / rdp_route.min(dp_route);
+        assert!(ratio < 10.0, "ratio = {ratio} (rdp {rdp_route}, dp {dp_route})");
+    }
+}

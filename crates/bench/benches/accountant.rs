@@ -1,0 +1,46 @@
+//! Criterion benchmarks of the privacy accounting (supporting Figure 2 and the per-round ε
+//! tracking of Figures 4–9): sub-sampled Gaussian RDP evaluation, RDP→DP conversion, and
+//! the group-privacy conversions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uldp_accounting::{
+    default_orders, group_epsilon_via_normal_dp, group_rdp, rdp_to_dp, subsampled_gaussian_rdp,
+    Accountant, AlgorithmPrivacy, RdpCurve,
+};
+
+fn bench_rdp_curve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rdp_curve");
+    for &q in &[0.01f64, 0.3, 1.0] {
+        group.bench_with_input(BenchmarkId::new("subsampled_gaussian", q), &q, |b, &q| {
+            b.iter(|| RdpCurve::from_fn(default_orders(), |a| subsampled_gaussian_rdp(a, q, 5.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_conversions(c: &mut Criterion) {
+    let curve = RdpCurve::from_fn(default_orders(), |a| subsampled_gaussian_rdp(a, 0.01, 5.0) * 1e5);
+    let mut group = c.benchmark_group("conversions");
+    group.bench_function("rdp_to_dp", |b| b.iter(|| rdp_to_dp(&curve, 1e-5)));
+    group.bench_function("group_rdp_k32", |b| b.iter(|| rdp_to_dp(&group_rdp(&curve, 32), 1e-5)));
+    group.bench_function("group_normal_dp_k8", |b| {
+        b.iter(|| group_epsilon_via_normal_dp(&curve, 1e-5, 8, 1e-6))
+    });
+    group.finish();
+}
+
+fn bench_accountant_round_tracking(c: &mut Criterion) {
+    c.bench_function("accountant_100_rounds_with_epsilon", |b| {
+        b.iter(|| {
+            let mut acc =
+                Accountant::new(AlgorithmPrivacy::UserLevelGaussian { sigma: 5.0, q: 0.5 });
+            for _ in 0..100 {
+                acc.step_round();
+            }
+            acc.epsilon(1e-5)
+        })
+    });
+}
+
+criterion_group!(benches, bench_rdp_curve, bench_conversions, bench_accountant_round_tracking);
+criterion_main!(benches);

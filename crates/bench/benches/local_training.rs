@@ -1,0 +1,94 @@
+//! Criterion benchmarks of the silo-local training primitives, contrasting the cost of
+//! per-silo training (DEFAULT / ULDP-NAIVE), record-level DP-SGD (ULDP-GROUP) and the
+//! per-user training loop of ULDP-AVG — the computational-overhead trade-off discussed in
+//! Section 3.4 of the paper (ULDP-AVG costs more compute for the same communication).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uldp_core::silo;
+use uldp_core::weighting::WeightMatrix;
+use uldp_core::{algorithms, FlConfig, Method, WeightingStrategy};
+use uldp_datasets::creditcard::{self, CreditcardConfig};
+use uldp_ml::{LinearClassifier, Model};
+
+fn dataset() -> uldp_datasets::FederatedDataset {
+    let mut rng = StdRng::seed_from_u64(1);
+    creditcard::generate(
+        &mut rng,
+        &CreditcardConfig {
+            train_records: 1000,
+            test_records: 100,
+            num_users: 50,
+            ..Default::default()
+        },
+    )
+}
+
+fn bench_local_primitives(c: &mut Criterion) {
+    let data = dataset();
+    let silo_records: Vec<&uldp_ml::Sample> =
+        data.silo_records(0).into_iter().map(|r| &r.sample).collect();
+    let model = LinearClassifier::new(data.feature_dim(), 2);
+    let params = model.parameters().to_vec();
+    let mut group = c.benchmark_group("local_training");
+    group.sample_size(10);
+
+    group.bench_function("silo_sgd_2_epochs", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut scratch = model.clone();
+            silo::local_train(&mut scratch, &params, &silo_records, 2, 0.1, 32, &mut rng)
+        })
+    });
+
+    group.bench_function("dp_sgd_2_steps", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut scratch = model.clone();
+            silo::dp_sgd(&mut scratch, &params, &silo_records, 2, 0.1, 1.0, 5.0, 0.1, &mut rng)
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_full_rounds(c: &mut Criterion) {
+    let data = dataset();
+    let mut group = c.benchmark_group("federated_round");
+    group.sample_size(10);
+
+    for (name, method) in [
+        ("default", Method::Default),
+        ("uldp_avg", Method::UldpAvg { weighting: WeightingStrategy::Uniform }),
+    ] {
+        let config = FlConfig {
+            method,
+            rounds: 1,
+            local_epochs: 2,
+            local_lr: 0.1,
+            sigma: 5.0,
+            ..Default::default()
+        };
+        let weights = WeightMatrix::uniform(data.num_silos, data.num_users);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut model: Box<dyn Model> =
+                    Box::new(LinearClassifier::new(data.feature_dim(), 2));
+                match method {
+                    Method::Default => {
+                        algorithms::default::run_round(&mut model, &data, &config, 1)
+                    }
+                    Method::UldpAvg { .. } => algorithms::uldp_avg::run_round(
+                        &mut model, &data, &config, &weights, 1.0, 1,
+                    ),
+                    _ => unreachable!(),
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_primitives, bench_full_rounds);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks of the Paillier cryptosystem and the big-integer modular
+//! arithmetic underlying the private weighting protocol (supporting Figures 10 and 11:
+//! the per-coordinate cost of the protocol is one Paillier scalar multiplication plus one
+//! homomorphic addition).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uldp_bigint::modular::mod_pow;
+use uldp_bigint::BigUint;
+use uldp_crypto::paillier::PaillierKeyPair;
+
+fn bench_paillier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paillier");
+    group.sample_size(10);
+    for &bits in &[512usize, 1024] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let kp = PaillierKeyPair::generate(&mut rng, bits);
+        let m = BigUint::from_u64(123_456_789);
+        let ciphertext = kp.public.encrypt(&mut rng, &m);
+        let scalar = BigUint::from_u64(987_654_321);
+
+        group.bench_with_input(BenchmarkId::new("encrypt", bits), &bits, |b, _| {
+            b.iter(|| kp.public.encrypt(&mut rng, &m))
+        });
+        group.bench_with_input(BenchmarkId::new("decrypt", bits), &bits, |b, _| {
+            b.iter(|| kp.secret.decrypt(&ciphertext))
+        });
+        group.bench_with_input(BenchmarkId::new("scalar_mul", bits), &bits, |b, _| {
+            b.iter(|| kp.public.scalar_mul(&ciphertext, &scalar))
+        });
+        group.bench_with_input(BenchmarkId::new("homomorphic_add", bits), &bits, |b, _| {
+            b.iter(|| kp.public.add(&ciphertext, &ciphertext))
+        });
+    }
+    group.finish();
+}
+
+fn bench_modpow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modpow");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    for &bits in &[256usize, 512, 1024] {
+        let modulus = BigUint::random_with_bits(&mut rng, bits);
+        let base = BigUint::random_below(&mut rng, &modulus);
+        let exp = BigUint::random_with_bits(&mut rng, bits);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| mod_pow(&base, &exp, &modulus))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paillier, bench_modpow);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Ablation: sensitivity of ULDP-AVG to the clipping bound `C` and the noise multiplier σ.
+//!
+//! The paper fixes σ = 5 and tunes `C` per dataset; this ablation sweeps both to show the
+//! trade-off the design relies on: too small a clipping bound biases the per-user deltas,
+//! too large a bound inflates the added noise (whose standard deviation is σ·C/√|S| per
+//! silo), and the privacy budget depends only on σ and T — not on C.
+//!
+//! ```bash
+//! cargo run --release -p uldp-bench --bin ablation_clipping
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uldp_bench::{print_table, ResultRow, Scale};
+use uldp_core::{FlConfig, Method, Trainer, WeightingStrategy};
+use uldp_datasets::creditcard::{self, CreditcardConfig};
+use uldp_ml::LinearClassifier;
+
+fn main() {
+    let scale = Scale::from_env();
+    let rounds = scale.pick(10, 40);
+    let mut rng = StdRng::seed_from_u64(17);
+    let dataset = creditcard::generate(
+        &mut rng,
+        &CreditcardConfig {
+            train_records: scale.pick(2000, 25_000),
+            test_records: 500,
+            num_users: 100,
+            ..Default::default()
+        },
+    );
+    let dim = dataset.feature_dim();
+    let method = Method::UldpAvg { weighting: WeightingStrategy::Uniform };
+
+    println!("Ablation — clipping bound C and noise multiplier sigma (ULDP-AVG, T={rounds})");
+
+    let mut rows = Vec::new();
+    for &sigma in &[1.0f64, 5.0, 10.0] {
+        for &clip in &[0.1f64, 1.0, 10.0] {
+            let mut config = FlConfig::recommended(method, dataset.num_silos);
+            config.rounds = rounds;
+            config.local_epochs = 2;
+            config.local_lr = 0.3;
+            config.global_lr = dataset.num_silos as f64 * 20.0;
+            config.sigma = sigma;
+            config.clip_bound = clip;
+            config.eval_every = rounds;
+            let model = Box::new(LinearClassifier::new(dim, 2));
+            let history = Trainer::new(config, dataset.clone(), model).run();
+            let mut row = ResultRow::new(format!("sigma={sigma}, C={clip}"));
+            row.push_f64("accuracy", history.final_accuracy().unwrap_or(f64::NAN));
+            row.push_f64("test loss", history.final_loss().unwrap_or(f64::NAN));
+            row.push_f64("epsilon", history.final_epsilon());
+            rows.push(row);
+        }
+    }
+    print_table("Ablation: accuracy / loss / epsilon vs (sigma, C)", &rows);
+    println!(
+        "\nExpected shape: epsilon depends only on sigma (and T); for a fixed sigma there is an\n\
+         interior sweet spot in C — very small C under-utilises each user's update, very large C\n\
+         drowns the aggregate in Gaussian noise."
+    );
+}

@@ -1,0 +1,94 @@
+//! Figure 5: privacy-utility trade-offs on the MNIST-like dataset.
+//!
+//! Six panels in the paper: |U| ∈ {100, 10000} × {uniform, zipf} × {iid, non-iid}.
+//! This harness runs the four distinctive combinations (uniform/iid, zipf/iid, zipf/non-iid
+//! for both user counts can be enabled at full scale) and reports test loss, accuracy and
+//! the accumulated ULDP ε per method, using an MLP of roughly the paper's parameter count.
+//!
+//! ```bash
+//! cargo run --release -p uldp-bench --bin fig5_mnist
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uldp_bench::{print_table, run_training, ResultRow, Scale};
+use uldp_core::{GroupSize, Method, WeightingStrategy};
+use uldp_datasets::mnist_like::{self, MnistConfig};
+use uldp_datasets::Allocation;
+use uldp_ml::MlpClassifier;
+
+fn methods() -> Vec<Method> {
+    vec![
+        Method::Default,
+        Method::UldpNaive,
+        Method::UldpGroup { group_size: GroupSize::Fixed(2), sampling_rate: 0.02 },
+        Method::UldpGroup { group_size: GroupSize::Max, sampling_rate: 0.02 },
+        Method::UldpSgd { weighting: WeightingStrategy::Uniform },
+        Method::UldpAvg { weighting: WeightingStrategy::Uniform },
+        Method::UldpAvg { weighting: WeightingStrategy::RecordProportional },
+    ]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let rounds = scale.pick(6, 40);
+    let train_records = scale.pick(3000, 60_000);
+    let dim = scale.pick(64, 784);
+    let hidden = scale.pick(16, 24);
+    let user_counts = scale.pick(vec![100usize], vec![100usize, 10_000]);
+    let sigma = 5.0;
+
+    println!(
+        "Figure 5 — MNIST privacy-utility trade-offs (|S|=5, sigma={sigma}, T={rounds}, dim={dim}, hidden={hidden})"
+    );
+
+    for &num_users in &user_counts {
+        let panels = [
+            (Allocation::Uniform, false, "uniform, iid"),
+            (Allocation::zipf_default(), false, "zipf, iid"),
+            (Allocation::zipf_default(), true, "zipf, non-iid"),
+        ];
+        for (allocation, non_iid, label) in panels {
+            let mut rng = StdRng::seed_from_u64(5);
+            let dataset = mnist_like::generate(
+                &mut rng,
+                &MnistConfig {
+                    train_records,
+                    test_records: train_records / 6,
+                    dim,
+                    num_users,
+                    allocation,
+                    non_iid,
+                    ..Default::default()
+                },
+            );
+            let classes = 10;
+            let make_model = move || -> Box<dyn uldp_ml::Model> {
+                let mut model_rng = StdRng::seed_from_u64(1234);
+                Box::new(MlpClassifier::new(dim, hidden, classes, &mut model_rng))
+            };
+            let mut rows = Vec::new();
+            for method in methods() {
+                let history = run_training(&dataset, method, rounds, sigma, 1.0, &make_model);
+                let mut row = ResultRow::new(history.method.clone());
+                row.push_f64("test loss", history.final_loss().unwrap_or(f64::NAN));
+                row.push_f64("accuracy", history.final_accuracy().unwrap_or(f64::NAN));
+                row.push_f64("epsilon", history.final_epsilon());
+                rows.push(row);
+            }
+            print_table(
+                &format!(
+                    "Figure 5 panel: n≈{:.0} (|U|={num_users}), {label}",
+                    dataset.avg_records_per_user()
+                ),
+                &rows,
+            );
+        }
+    }
+    println!(
+        "\nExpected shape (paper): ULDP-AVG converges fastest among the private methods; the\n\
+         user-level non-iid panel hurts ULDP-AVG when |U| is small (per-user gradients overfit\n\
+         each user's two labels) but not when |U| is large; ULDP-GROUP-2 becomes competitive\n\
+         when records per user are very few and the local dataset is large."
+    );
+}

@@ -1,0 +1,79 @@
+//! Figure 8: effectiveness of the enhanced weighting strategy.
+//!
+//! Compares the final test loss of ULDP-AVG (uniform weights) and ULDP-AVG-w
+//! (record-proportional weights) on the Creditcard dataset under uniform and zipf record
+//! allocations, for |S| ∈ {5, 20, 50} silos. Noise is disabled (σ = 0) so the comparison
+//! isolates the clipping-weight bias the strategy is designed to reduce, matching the
+//! paper's discussion of Remark 4.
+//!
+//! ```bash
+//! cargo run --release -p uldp-bench --bin fig8_weighting
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uldp_bench::{print_table, run_training, ResultRow, Scale};
+use uldp_core::{Method, WeightingStrategy};
+use uldp_datasets::creditcard::{self, CreditcardConfig};
+use uldp_datasets::Allocation;
+use uldp_ml::LinearClassifier;
+
+fn main() {
+    let scale = Scale::from_env();
+    let rounds = scale.pick(8, 40);
+    let train_records = scale.pick(2500, 25_000);
+    let silo_counts = scale.pick(vec![5usize, 20], vec![5usize, 20, 50]);
+
+    println!("Figure 8 — enhanced weighting strategy (Creditcard, sigma=0, T={rounds})");
+
+    let mut rows = Vec::new();
+    for &num_silos in &silo_counts {
+        for allocation in [Allocation::Uniform, Allocation::zipf_default()] {
+            let mut rng = StdRng::seed_from_u64(8);
+            let dataset = creditcard::generate(
+                &mut rng,
+                &CreditcardConfig {
+                    train_records,
+                    test_records: train_records / 5,
+                    num_users: 100,
+                    num_silos,
+                    allocation,
+                    ..Default::default()
+                },
+            );
+            let dim = dataset.feature_dim();
+            let make_model =
+                move || -> Box<dyn uldp_ml::Model> { Box::new(LinearClassifier::new(dim, 2)) };
+            let uniform = run_training(
+                &dataset,
+                Method::UldpAvg { weighting: WeightingStrategy::Uniform },
+                rounds,
+                0.0,
+                1.0,
+                &make_model,
+            );
+            let weighted = run_training(
+                &dataset,
+                Method::UldpAvg { weighting: WeightingStrategy::RecordProportional },
+                rounds,
+                0.0,
+                1.0,
+                &make_model,
+            );
+            let mut row = ResultRow::new(format!("|S|={num_silos}, {}", allocation.label()));
+            row.push_f64("loss ULDP-AVG", uniform.final_loss().unwrap_or(f64::NAN));
+            row.push_f64("loss ULDP-AVG-w", weighted.final_loss().unwrap_or(f64::NAN));
+            row.push_f64(
+                "gap (AVG - AVG-w)",
+                uniform.final_loss().unwrap_or(f64::NAN) - weighted.final_loss().unwrap_or(f64::NAN),
+            );
+            rows.push(row);
+        }
+    }
+    print_table("Figure 8: test loss of ULDP-AVG vs ULDP-AVG-w", &rows);
+    println!(
+        "\nExpected shape (paper): the gap in favour of ULDP-AVG-w grows with record skew (zipf)\n\
+         and with the number of silos (uniform weights shrink as 1/|S| while the enhanced\n\
+         weights concentrate on the silos that actually hold the user's records)."
+    );
+}

@@ -1,0 +1,94 @@
+//! Figure 9: effect of user-level sub-sampling.
+//!
+//! Runs ULDP-AVG on the Creditcard dataset (|U| = 1000) and the MNIST-like dataset
+//! (|U| = 10000 at full scale) for user-level Poisson sampling rates
+//! q ∈ {0.1, 0.3, 0.5, 0.7, 1.0}, reporting final utility and the accumulated ULDP ε —
+//! the privacy amplification of Algorithm 4.
+//!
+//! ```bash
+//! cargo run --release -p uldp-bench --bin fig9_subsampling
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uldp_bench::{print_table, run_training, ResultRow, Scale};
+use uldp_core::{Method, WeightingStrategy};
+use uldp_datasets::creditcard::{self, CreditcardConfig};
+use uldp_datasets::mnist_like::{self, MnistConfig};
+use uldp_datasets::Allocation;
+use uldp_ml::{LinearClassifier, MlpClassifier};
+
+fn main() {
+    let scale = Scale::from_env();
+    let rounds = scale.pick(8, 40);
+    let sigma = 5.0;
+    let method = Method::UldpAvg { weighting: WeightingStrategy::Uniform };
+    let rates = [0.1f64, 0.3, 0.5, 0.7, 1.0];
+
+    println!("Figure 9 — user-level sub-sampling (sigma={sigma}, T={rounds})");
+
+    // Panel (a): Creditcard with |U| = 1000.
+    {
+        let mut rng = StdRng::seed_from_u64(9);
+        let dataset = creditcard::generate(
+            &mut rng,
+            &CreditcardConfig {
+                train_records: scale.pick(4000, 25_000),
+                test_records: 800,
+                num_users: 1000,
+                allocation: Allocation::Uniform,
+                ..Default::default()
+            },
+        );
+        let dim = dataset.feature_dim();
+        let make_model =
+            move || -> Box<dyn uldp_ml::Model> { Box::new(LinearClassifier::new(dim, 2)) };
+        let mut rows = Vec::new();
+        for &q in &rates {
+            let history = run_training(&dataset, method, rounds, sigma, q, &make_model);
+            let mut row = ResultRow::new(format!("q={q}"));
+            row.push_f64("accuracy", history.final_accuracy().unwrap_or(f64::NAN));
+            row.push_f64("epsilon", history.final_epsilon());
+            rows.push(row);
+        }
+        print_table("Figure 9a: Creditcard, |U|=1000", &rows);
+    }
+
+    // Panel (b): MNIST with a large user base.
+    {
+        let num_users = scale.pick(2000, 10_000);
+        let mut rng = StdRng::seed_from_u64(10);
+        let dataset = mnist_like::generate(
+            &mut rng,
+            &MnistConfig {
+                train_records: scale.pick(4000, 60_000),
+                test_records: 800,
+                dim: scale.pick(64, 784),
+                num_users,
+                allocation: Allocation::Uniform,
+                ..Default::default()
+            },
+        );
+        let dim = dataset.feature_dim();
+        let make_model = move || -> Box<dyn uldp_ml::Model> {
+            let mut model_rng = StdRng::seed_from_u64(11);
+            Box::new(MlpClassifier::new(dim, 16, 10, &mut model_rng))
+        };
+        let mut rows = Vec::new();
+        for &q in &[0.1f64, 0.3, 0.5, 1.0] {
+            let history = run_training(&dataset, method, rounds, sigma, q, &make_model);
+            let mut row = ResultRow::new(format!("q={q}"));
+            row.push_f64("accuracy", history.final_accuracy().unwrap_or(f64::NAN));
+            row.push_f64("test loss", history.final_loss().unwrap_or(f64::NAN));
+            row.push_f64("epsilon", history.final_epsilon());
+            rows.push(row);
+        }
+        print_table(&format!("Figure 9b: MNIST, |U|={num_users}"), &rows);
+    }
+
+    println!(
+        "\nExpected shape (paper): smaller q gives markedly smaller epsilon; the utility cost of\n\
+         sub-sampling is modest (especially with many users), so intermediate q values (e.g. 0.7)\n\
+         dominate the q=1 trade-off."
+    );
+}

@@ -1,0 +1,129 @@
+//! # uldp-bigint
+//!
+//! Arbitrary-precision integer arithmetic used by the cryptographic substrate of the
+//! Uldp-FL reproduction (Paillier cryptosystem, Diffie–Hellman key agreement, finite-field
+//! masking and the fixed-point encoding of Protocol 1).
+//!
+//! The crate provides:
+//!
+//! * [`BigUint`] — an unsigned, little-endian, 64-bit-limb big integer with the full set of
+//!   ring operations (add, sub, mul with Karatsuba, Knuth-D division, shifts, bit access).
+//! * [`BigInt`] — a signed wrapper (sign + magnitude) used where subtraction may go
+//!   negative (extended Euclid, fixed-point decoding).
+//! * [`modular`] — modular add/sub/mul/pow/inverse on [`BigUint`].
+//! * [`prime`] — Miller–Rabin primality testing and random prime generation.
+//! * Utility functions [`gcd`], [`lcm`], and [`lcm_up_to`] (the `C_LCM` constant of the
+//!   paper's Protocol 1).
+//!
+//! The implementation favours clarity and testability over raw speed: multiplication is
+//! schoolbook with a Karatsuba path for large operands, and modular exponentiation is
+//! plain square-and-multiply. This is sufficient for the model sizes evaluated in the
+//! paper; key sizes used in tests are configurable.
+
+pub mod biguint;
+pub mod modular;
+pub mod prime;
+pub mod signed;
+
+pub use biguint::BigUint;
+pub use signed::{BigInt, Sign};
+
+/// Greatest common divisor of two big unsigned integers (binary-free Euclid).
+pub fn gcd(a: &BigUint, b: &BigUint) -> BigUint {
+    let mut a = a.clone();
+    let mut b = b.clone();
+    while !b.is_zero() {
+        let r = a.rem(&b);
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Least common multiple of two big unsigned integers.
+///
+/// Returns zero if either input is zero.
+pub fn lcm(a: &BigUint, b: &BigUint) -> BigUint {
+    if a.is_zero() || b.is_zero() {
+        return BigUint::zero();
+    }
+    let g = gcd(a, b);
+    a.div(&g).mul(b)
+}
+
+/// Least common multiple of all integers in `1..=n`.
+///
+/// This is the `C_LCM` constant of Protocol 1 in the paper: with `N_max` the upper bound
+/// on the number of records a single user may hold, `C_LCM = lcm(1, 2, ..., N_max)` makes
+/// `C_LCM / N_u` an exact integer for every admissible per-user record count `N_u`.
+pub fn lcm_up_to(n: u64) -> BigUint {
+    let mut acc = BigUint::one();
+    for i in 2..=n {
+        acc = lcm(&acc, &BigUint::from_u64(i));
+    }
+    acc
+}
+
+/// Least common multiple of an explicit set of admissible record counts.
+///
+/// The paper notes that `C_LCM` grows roughly exponentially with `N_max`; restricting the
+/// admissible per-user record counts to a small set (e.g. powers of ten) keeps it small.
+pub fn lcm_of_set(values: &[u64]) -> BigUint {
+    let mut acc = BigUint::one();
+    for &v in values {
+        if v == 0 {
+            continue;
+        }
+        acc = lcm(&acc, &BigUint::from_u64(v));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_small() {
+        assert_eq!(
+            gcd(&BigUint::from_u64(54), &BigUint::from_u64(24)),
+            BigUint::from_u64(6)
+        );
+        assert_eq!(
+            gcd(&BigUint::from_u64(17), &BigUint::from_u64(5)),
+            BigUint::from_u64(1)
+        );
+        assert_eq!(gcd(&BigUint::zero(), &BigUint::from_u64(7)), BigUint::from_u64(7));
+    }
+
+    #[test]
+    fn lcm_small() {
+        assert_eq!(
+            lcm(&BigUint::from_u64(4), &BigUint::from_u64(6)),
+            BigUint::from_u64(12)
+        );
+        assert_eq!(lcm(&BigUint::zero(), &BigUint::from_u64(6)), BigUint::zero());
+    }
+
+    #[test]
+    fn lcm_up_to_ten() {
+        // lcm(1..=10) = 2520
+        assert_eq!(lcm_up_to(10), BigUint::from_u64(2520));
+        assert_eq!(lcm_up_to(1), BigUint::one());
+    }
+
+    #[test]
+    fn lcm_of_set_powers_of_ten() {
+        // lcm(10, 100, 1000) = 1000
+        assert_eq!(lcm_of_set(&[10, 100, 1000]), BigUint::from_u64(1000));
+    }
+
+    #[test]
+    fn lcm_up_to_grows() {
+        let a = lcm_up_to(20);
+        let b = lcm_up_to(30);
+        assert!(a < b);
+        // lcm(1..=20) = 232792560
+        assert_eq!(a, BigUint::from_u64(232_792_560));
+    }
+}

@@ -1,0 +1,211 @@
+//! Modular arithmetic over [`BigUint`] values.
+//!
+//! All functions treat the modulus as defining the ring `Z_n` and expect (but do not
+//! require) inputs already reduced modulo `n`; results are always reduced.
+
+use crate::biguint::BigUint;
+use crate::signed::{BigInt, Sign};
+
+/// `(a + b) mod n`.
+pub fn mod_add(a: &BigUint, b: &BigUint, n: &BigUint) -> BigUint {
+    a.add(b).rem(n)
+}
+
+/// `(a - b) mod n`, wrapping into `[0, n)`.
+pub fn mod_sub(a: &BigUint, b: &BigUint, n: &BigUint) -> BigUint {
+    let a = a.rem(n);
+    let b = b.rem(n);
+    if a >= b {
+        a.sub(&b)
+    } else {
+        n.sub(&b).add(&a).rem(n)
+    }
+}
+
+/// `(a * b) mod n`.
+pub fn mod_mul(a: &BigUint, b: &BigUint, n: &BigUint) -> BigUint {
+    a.mul(b).rem(n)
+}
+
+/// `(-a) mod n`.
+pub fn mod_neg(a: &BigUint, n: &BigUint) -> BigUint {
+    let a = a.rem(n);
+    if a.is_zero() {
+        a
+    } else {
+        n.sub(&a)
+    }
+}
+
+/// Modular exponentiation `base^exp mod n` by square-and-multiply.
+///
+/// `0^0 mod n` is defined as `1 mod n`.
+pub fn mod_pow(base: &BigUint, exp: &BigUint, n: &BigUint) -> BigUint {
+    assert!(!n.is_zero(), "modulus must be positive");
+    if n.is_one() {
+        return BigUint::zero();
+    }
+    let mut result = BigUint::one();
+    let mut base = base.rem(n);
+    let bits = exp.bit_length();
+    for i in 0..bits {
+        if exp.bit(i) {
+            result = mod_mul(&result, &base, n);
+        }
+        if i + 1 < bits {
+            base = mod_mul(&base, &base, n);
+        }
+    }
+    result
+}
+
+/// Extended Euclidean algorithm.
+///
+/// Returns `(g, x, y)` such that `a*x + b*y = g = gcd(a, b)`.
+pub fn extended_gcd(a: &BigUint, b: &BigUint) -> (BigUint, BigInt, BigInt) {
+    let mut old_r = BigInt::from_biguint(a.clone());
+    let mut r = BigInt::from_biguint(b.clone());
+    let mut old_s = BigInt::one();
+    let mut s = BigInt::zero();
+    let mut old_t = BigInt::zero();
+    let mut t = BigInt::one();
+    while !r.is_zero() {
+        let (q, rem) = old_r.magnitude().div_rem(r.magnitude());
+        // both old_r and r are non-negative throughout
+        let q = BigInt::from_biguint(q);
+        let new_r = BigInt::from_biguint(rem);
+        old_r = std::mem::replace(&mut r, new_r);
+        let new_s = old_s.sub(&q.mul(&s));
+        old_s = std::mem::replace(&mut s, new_s);
+        let new_t = old_t.sub(&q.mul(&t));
+        old_t = std::mem::replace(&mut t, new_t);
+    }
+    (old_r.magnitude().clone(), old_s, old_t)
+}
+
+/// Modular multiplicative inverse of `a` modulo `n`.
+///
+/// Returns `None` when `gcd(a, n) != 1`. Computed with the extended Euclidean algorithm
+/// (the method used by the server in Protocol 1 step 1.(f)).
+pub fn mod_inv(a: &BigUint, n: &BigUint) -> Option<BigUint> {
+    assert!(!n.is_zero(), "modulus must be positive");
+    let a = a.rem(n);
+    if a.is_zero() {
+        return None;
+    }
+    let (g, x, _) = extended_gcd(&a, n);
+    if !g.is_one() {
+        return None;
+    }
+    Some(x.rem_euclid(n))
+}
+
+/// Maps a finite-field element in `[0, n)` to the centred integer representation
+/// `(-n/2, n/2]` used by the fixed-point `Decode` step of Protocol 1.
+pub fn to_centered(x: &BigUint, n: &BigUint) -> BigInt {
+    let half = n.div(&BigUint::two());
+    if x > &half {
+        BigInt::with_sign(Sign::Negative, n.sub(x))
+    } else {
+        BigInt::from_biguint(x.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn n(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn add_sub_mul_small() {
+        let m = n(17);
+        assert_eq!(mod_add(&n(10), &n(12), &m), n(5));
+        assert_eq!(mod_sub(&n(3), &n(10), &m), n(10));
+        assert_eq!(mod_mul(&n(5), &n(7), &m), n(1));
+        assert_eq!(mod_neg(&n(4), &m), n(13));
+        assert_eq!(mod_neg(&n(0), &m), n(0));
+    }
+
+    #[test]
+    fn pow_small() {
+        let m = n(1000);
+        assert_eq!(mod_pow(&n(2), &n(10), &m), n(24));
+        assert_eq!(mod_pow(&n(7), &n(0), &m), n(1));
+        assert_eq!(mod_pow(&n(0), &n(5), &m), n(0));
+        assert_eq!(mod_pow(&n(3), &n(4), &BigUint::one()), BigUint::zero());
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // a^(p-1) = 1 mod p for prime p and a not divisible by p
+        let p = n(1_000_000_007);
+        for a in [2u64, 3, 12345, 999_999_999] {
+            assert_eq!(mod_pow(&n(a), &p.sub(&BigUint::one()), &p), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn extended_gcd_bezout() {
+        let a = n(240);
+        let b = n(46);
+        let (g, x, y) = extended_gcd(&a, &b);
+        assert_eq!(g, n(2));
+        let lhs = BigInt::from_biguint(a).mul(&x).add(&BigInt::from_biguint(b).mul(&y));
+        assert_eq!(lhs, BigInt::from_biguint(n(2)));
+    }
+
+    #[test]
+    fn inverse_small() {
+        let m = n(17);
+        for a in 1..17u64 {
+            let inv = mod_inv(&n(a), &m).unwrap();
+            assert_eq!(mod_mul(&n(a), &inv, &m), BigUint::one());
+        }
+        // no inverse when not coprime
+        assert!(mod_inv(&n(6), &n(9)).is_none());
+        assert!(mod_inv(&n(0), &n(9)).is_none());
+    }
+
+    #[test]
+    fn inverse_large_random() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let m = crate::prime::generate_prime(&mut rng, 128);
+        for _ in 0..10 {
+            let a = BigUint::random_below(&mut rng, &m);
+            if a.is_zero() {
+                continue;
+            }
+            let inv = mod_inv(&a, &m).unwrap();
+            assert_eq!(mod_mul(&a, &inv, &m), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn centered_representation() {
+        let m = n(100);
+        assert_eq!(to_centered(&n(3), &m).to_i128(), Some(3));
+        assert_eq!(to_centered(&n(99), &m).to_i128(), Some(-1));
+        assert_eq!(to_centered(&n(50), &m).to_i128(), Some(50));
+        assert_eq!(to_centered(&n(51), &m).to_i128(), Some(-49));
+    }
+
+    #[test]
+    fn pow_matches_naive_for_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = n(10007);
+        for _ in 0..20 {
+            let base = BigUint::random_below(&mut rng, &m);
+            let exp: u64 = rand::Rng::gen_range(&mut rng, 0..50);
+            let mut naive = BigUint::one();
+            for _ in 0..exp {
+                naive = mod_mul(&naive, &base, &m);
+            }
+            assert_eq!(mod_pow(&base, &BigUint::from_u64(exp), &m), naive);
+        }
+    }
+}

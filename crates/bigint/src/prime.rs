@@ -1,0 +1,184 @@
+//! Primality testing and random prime generation.
+//!
+//! Used by the Paillier key generation of the private weighting protocol (Protocol 1).
+//! The Miller–Rabin test with 40 random rounds gives an error probability below `2^-80`,
+//! which is standard practice for cryptographic prime generation.
+
+use crate::biguint::BigUint;
+use crate::modular::mod_pow;
+use rand::Rng;
+
+/// Default number of Miller–Rabin rounds (error probability below `4^-40`).
+pub const DEFAULT_MILLER_RABIN_ROUNDS: usize = 40;
+
+/// Small primes used for fast trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 54] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+];
+
+/// Probabilistic primality test (trial division + Miller–Rabin).
+pub fn is_probably_prime<R: Rng + ?Sized>(rng: &mut R, n: &BigUint, rounds: usize) -> bool {
+    if n < &BigUint::two() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let p_big = BigUint::from_u64(p);
+        if n == &p_big {
+            return true;
+        }
+        if n.rem(&p_big).is_zero() {
+            return false;
+        }
+    }
+    miller_rabin(rng, n, rounds)
+}
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+///
+/// Assumes `n` is odd and larger than the small-prime table.
+pub fn miller_rabin<R: Rng + ?Sized>(rng: &mut R, n: &BigUint, rounds: usize) -> bool {
+    let one = BigUint::one();
+    let n_minus_1 = n.sub(&one);
+    // Write n-1 = d * 2^r with d odd.
+    let mut d = n_minus_1.clone();
+    let mut r = 0usize;
+    while d.is_even() {
+        d = d.shr_bits(1);
+        r += 1;
+    }
+    'witness: for _ in 0..rounds {
+        // base in [2, n-2]
+        let bound = n.sub(&BigUint::from_u64(3));
+        let a = BigUint::random_below(rng, &bound).add(&BigUint::two());
+        let mut x = mod_pow(&a, &d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..r.saturating_sub(1) {
+            x = mod_pow(&x, &BigUint::two(), n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+pub fn generate_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    assert!(bits >= 2, "a prime needs at least 2 bits");
+    loop {
+        let mut candidate = BigUint::random_with_bits(rng, bits);
+        // Force odd.
+        if candidate.is_even() {
+            candidate = candidate.add(&BigUint::one());
+            if candidate.bit_length() != bits {
+                continue;
+            }
+        }
+        if is_probably_prime(rng, &candidate, DEFAULT_MILLER_RABIN_ROUNDS) {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a safe prime `p = 2q + 1` (with `q` prime) with exactly `bits` bits.
+///
+/// Used when constructing custom Diffie–Hellman groups; RFC 3526 groups are preferred for
+/// realistic key sizes because safe-prime generation is expensive.
+pub fn generate_safe_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    assert!(bits >= 3, "a safe prime needs at least 3 bits");
+    loop {
+        let q = generate_prime(rng, bits - 1);
+        let p = q.shl_bits(1).add(&BigUint::one());
+        if p.bit_length() == bits && is_probably_prime(rng, &p, DEFAULT_MILLER_RABIN_ROUNDS) {
+            return p;
+        }
+    }
+}
+
+/// Generates two distinct primes of the given bit length (used by Paillier key generation).
+pub fn generate_prime_pair<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> (BigUint, BigUint) {
+    let p = generate_prime(rng, bits);
+    loop {
+        let q = generate_prime(rng, bits);
+        if q != p {
+            return (p, q);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_primes_detected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for p in [2u64, 3, 5, 7, 97, 251, 257, 65537, 1_000_000_007] {
+            assert!(
+                is_probably_prime(&mut rng, &BigUint::from_u64(p), 20),
+                "{p} should be prime"
+            );
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for c in [0u64, 1, 4, 6, 9, 15, 21, 255, 561, 1105, 341, 1_000_000_008] {
+            assert!(
+                !is_probably_prime(&mut rng, &BigUint::from_u64(c), 20),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Carmichael numbers fool the Fermat test but not Miller-Rabin.
+        let mut rng = StdRng::seed_from_u64(1);
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 62745, 162401] {
+            assert!(!is_probably_prime(&mut rng, &BigUint::from_u64(c), 20));
+        }
+    }
+
+    #[test]
+    fn generated_primes_have_requested_bits() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for bits in [16usize, 32, 64, 128] {
+            let p = generate_prime(&mut rng, bits);
+            assert_eq!(p.bit_length(), bits);
+            assert!(is_probably_prime(&mut rng, &p, 20));
+        }
+    }
+
+    #[test]
+    fn generated_prime_pair_distinct() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (p, q) = generate_prime_pair(&mut rng, 64);
+        assert_ne!(p, q);
+    }
+
+    #[test]
+    fn safe_prime_structure() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = generate_safe_prime(&mut rng, 32);
+        assert_eq!(p.bit_length(), 32);
+        let q = p.sub(&BigUint::one()).shr_bits(1);
+        assert!(is_probably_prime(&mut rng, &q, 20));
+    }
+
+    #[test]
+    fn product_of_two_primes_is_composite() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let p = generate_prime(&mut rng, 48);
+        let q = generate_prime(&mut rng, 48);
+        assert!(!is_probably_prime(&mut rng, &p.mul(&q), 20));
+    }
+}

@@ -1,0 +1,284 @@
+//! Signed arbitrary-precision integers (sign + magnitude).
+//!
+//! [`BigInt`] is a thin signed wrapper over [`BigUint`], used where intermediate values
+//! may be negative: the extended Euclidean algorithm and the centred representation of
+//! finite-field elements in the fixed-point `Decode` step of Protocol 1.
+
+use crate::biguint::BigUint;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Sign of a [`BigInt`]. Zero is always [`Sign::Zero`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+/// A signed arbitrary-precision integer represented as a sign and a magnitude.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    magnitude: BigUint,
+}
+
+impl BigInt {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Zero, magnitude: BigUint::zero() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigInt { sign: Sign::Positive, magnitude: BigUint::one() }
+    }
+
+    /// Builds a non-negative value from a [`BigUint`].
+    pub fn from_biguint(v: BigUint) -> Self {
+        if v.is_zero() {
+            Self::zero()
+        } else {
+            BigInt { sign: Sign::Positive, magnitude: v }
+        }
+    }
+
+    /// Builds a value with an explicit sign; the sign is normalised for zero magnitudes.
+    pub fn with_sign(sign: Sign, magnitude: BigUint) -> Self {
+        if magnitude.is_zero() {
+            Self::zero()
+        } else {
+            match sign {
+                Sign::Zero => Self::zero(),
+                s => BigInt { sign: s, magnitude },
+            }
+        }
+    }
+
+    /// Builds a value from an `i64`.
+    pub fn from_i64(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => Self::zero(),
+            Ordering::Greater => BigInt {
+                sign: Sign::Positive,
+                magnitude: BigUint::from_u64(v as u64),
+            },
+            Ordering::Less => BigInt {
+                sign: Sign::Negative,
+                magnitude: BigUint::from_u64(v.unsigned_abs()),
+            },
+        }
+    }
+
+    /// Returns the sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Returns the magnitude (absolute value).
+    pub fn magnitude(&self) -> &BigUint {
+        &self.magnitude
+    }
+
+    /// Returns `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Returns `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        match self.sign {
+            Sign::Zero => Self::zero(),
+            Sign::Positive => BigInt { sign: Sign::Negative, magnitude: self.magnitude.clone() },
+            Sign::Negative => BigInt { sign: Sign::Positive, magnitude: self.magnitude.clone() },
+        }
+    }
+
+    /// Addition.
+    pub fn add(&self, other: &BigInt) -> BigInt {
+        match (self.sign, other.sign) {
+            (Sign::Zero, _) => other.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt::with_sign(a, self.magnitude.add(&other.magnitude)),
+            _ => {
+                // opposite signs: subtract the smaller magnitude from the larger
+                match self.magnitude.cmp(&other.magnitude) {
+                    Ordering::Equal => BigInt::zero(),
+                    Ordering::Greater => {
+                        BigInt::with_sign(self.sign, self.magnitude.sub(&other.magnitude))
+                    }
+                    Ordering::Less => {
+                        BigInt::with_sign(other.sign, other.magnitude.sub(&self.magnitude))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Subtraction.
+    pub fn sub(&self, other: &BigInt) -> BigInt {
+        self.add(&other.neg())
+    }
+
+    /// Multiplication.
+    pub fn mul(&self, other: &BigInt) -> BigInt {
+        if self.is_zero() || other.is_zero() {
+            return BigInt::zero();
+        }
+        let sign = if self.sign == other.sign { Sign::Positive } else { Sign::Negative };
+        BigInt::with_sign(sign, self.magnitude.mul(&other.magnitude))
+    }
+
+    /// Euclidean remainder in `[0, modulus)` for a positive modulus.
+    pub fn rem_euclid(&self, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modulus must be positive");
+        let r = self.magnitude.rem(modulus);
+        match self.sign {
+            Sign::Negative if !r.is_zero() => modulus.sub(&r),
+            _ => r,
+        }
+    }
+
+    /// Lossy conversion to `f64` preserving sign.
+    pub fn to_f64(&self) -> f64 {
+        let m = self.magnitude.to_f64();
+        match self.sign {
+            Sign::Negative => -m,
+            _ => m,
+        }
+    }
+
+    /// Attempts to convert to `i128`; returns `None` if it does not fit.
+    pub fn to_i128(&self) -> Option<i128> {
+        let m = self.magnitude.to_u128()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => {
+                if m <= i128::MAX as u128 {
+                    Some(m as i128)
+                } else {
+                    None
+                }
+            }
+            Sign::Negative => {
+                if m <= i128::MAX as u128 + 1 {
+                    Some((m as i128).wrapping_neg())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Sign::*;
+        match (self.sign, other.sign) {
+            (Negative, Negative) => other.magnitude.cmp(&self.magnitude),
+            (Negative, _) => Ordering::Less,
+            (Zero, Negative) => Ordering::Greater,
+            (Zero, Zero) => Ordering::Equal,
+            (Zero, Positive) => Ordering::Less,
+            (Positive, Positive) => self.magnitude.cmp(&other.magnitude),
+            (Positive, _) => Ordering::Greater,
+        }
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({})", self)
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Negative {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.magnitude)
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        BigInt::from_i64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bi(v: i64) -> BigInt {
+        BigInt::from_i64(v)
+    }
+
+    #[test]
+    fn sign_normalisation() {
+        assert!(BigInt::with_sign(Sign::Negative, BigUint::zero()).is_zero());
+        assert_eq!(bi(0).sign(), Sign::Zero);
+        assert_eq!(bi(-3).sign(), Sign::Negative);
+    }
+
+    #[test]
+    fn add_mixed_signs() {
+        assert_eq!(bi(5).add(&bi(-3)), bi(2));
+        assert_eq!(bi(3).add(&bi(-5)), bi(-2));
+        assert_eq!(bi(-3).add(&bi(-5)), bi(-8));
+        assert_eq!(bi(5).add(&bi(-5)), bi(0));
+    }
+
+    #[test]
+    fn sub_and_neg() {
+        assert_eq!(bi(5).sub(&bi(9)), bi(-4));
+        assert_eq!(bi(-5).neg(), bi(5));
+        assert_eq!(bi(0).neg(), bi(0));
+    }
+
+    #[test]
+    fn mul_signs() {
+        assert_eq!(bi(-4).mul(&bi(3)), bi(-12));
+        assert_eq!(bi(-4).mul(&bi(-3)), bi(12));
+        assert_eq!(bi(-4).mul(&bi(0)), bi(0));
+    }
+
+    #[test]
+    fn rem_euclid_wraps_negative() {
+        let modulus = BigUint::from_u64(7);
+        assert_eq!(bi(-1).rem_euclid(&modulus), BigUint::from_u64(6));
+        assert_eq!(bi(13).rem_euclid(&modulus), BigUint::from_u64(6));
+        assert_eq!(bi(0).rem_euclid(&modulus), BigUint::zero());
+        assert_eq!(bi(-14).rem_euclid(&modulus), BigUint::zero());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(bi(-10) < bi(-2));
+        assert!(bi(-2) < bi(0));
+        assert!(bi(0) < bi(1));
+        assert!(bi(1) < bi(100));
+    }
+
+    #[test]
+    fn i128_conversion() {
+        assert_eq!(bi(-42).to_i128(), Some(-42));
+        assert_eq!(bi(42).to_i128(), Some(42));
+        assert_eq!(bi(0).to_i128(), Some(0));
+    }
+}

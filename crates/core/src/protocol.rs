@@ -1,0 +1,689 @@
+//! Protocol 1: the private weighting protocol.
+//!
+//! The enhanced weighting strategy `w_{s,u} = n_{s,u} / N_u` needs the cross-silo user
+//! totals `N_u`, which no single party may learn. Protocol 1 combines three primitives so
+//! that the weighted aggregation is computed without revealing any `n_{s,u}` (Theorem 5):
+//!
+//! 1. **Multiplicative blinding** — silos share a random seed `R` (unknown to the server)
+//!    and blind their histograms as `B(n_{s,u}) = r_u · n_{s,u} mod n`; the server can sum
+//!    and invert blinded totals but learns nothing about the underlying counts.
+//! 2. **Secure aggregation** — pairwise additive masks derived from Diffie–Hellman shared
+//!    seeds hide the individual blinded histograms (and later the per-silo encrypted model
+//!    deltas) so the server only ever sees sums.
+//! 3. **Paillier encryption** — the server returns `Enc_p(B_inv(N_u))` to the silos, which
+//!    then compute the weighted, clipped model deltas *under encryption*
+//!    (scalar-multiplying by `Encode(Δ̃) · n_{s,u} · r_u · C_LCM`), cancelling the blinding
+//!    factor homomorphically; the server decrypts only the aggregate.
+//!
+//! The fixed-point `Encode`/`Decode` of Algorithm 5 and the `C_LCM` factor make the
+//! per-user division by `N_u` exact on the finite field (Theorem 4).
+//!
+//! The implementation mirrors the message flow of the paper's Protocol 1 within a single
+//! process and records wall-clock timings for each phase, which the benchmark harness uses
+//! to regenerate Figures 10 and 11.
+
+use crate::config::WeightingStrategy;
+use crate::weighting::WeightMatrix;
+use rand::Rng;
+use std::time::{Duration, Instant};
+use uldp_bigint::modular::{mod_inv, mod_mul};
+use uldp_bigint::BigUint;
+use uldp_crypto::dh::{DhGroup, DhKeyPair};
+use uldp_crypto::masking::MaskSeed;
+use uldp_crypto::oblivious_transfer::OneOutOfP;
+use uldp_crypto::paillier::{Ciphertext, PaillierKeyPair, PaillierPublicKey};
+use uldp_crypto::{FixedPointCodec, MultiplicativeBlinder};
+
+/// Cryptographic parameters of the protocol.
+#[derive(Clone, Debug)]
+pub struct ProtocolConfig {
+    /// Paillier modulus size in bits (the paper's default security level is 3072; tests
+    /// and quick demos use smaller moduli).
+    pub paillier_bits: usize,
+    /// Size of the custom Diffie–Hellman safe-prime group used for the silo key exchange.
+    /// Ignored when [`ProtocolConfig::use_rfc_group`] is set.
+    pub dh_bits: usize,
+    /// Use the RFC 3526 2048-bit MODP group instead of generating a custom group.
+    pub use_rfc_group: bool,
+    /// Fixed-point precision parameter `P` of Algorithm 5.
+    pub precision: f64,
+    /// Upper bound `N_max` on the number of records a user may hold across silos;
+    /// `C_LCM = lcm(1..=N_max)`.
+    pub n_max: u64,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            paillier_bits: 512,
+            dh_bits: 256,
+            use_rfc_group: false,
+            precision: 1e-10,
+            n_max: 64,
+        }
+    }
+}
+
+impl ProtocolConfig {
+    /// The paper's full-strength parameters (3072-bit security, `N_max = 2000`).
+    ///
+    /// Key generation and per-round encryption at this size are expensive; benchmarks
+    /// report the key size they actually ran with.
+    pub fn paper_scale() -> Self {
+        ProtocolConfig {
+            paillier_bits: 3072,
+            dh_bits: 0,
+            use_rfc_group: true,
+            precision: 1e-10,
+            n_max: 2000,
+        }
+    }
+}
+
+/// Wall-clock timings of the one-off setup phase.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProtocolTimings {
+    /// Paillier + Diffie–Hellman key generation and pairwise seed agreement (steps a–c).
+    pub key_exchange: Duration,
+    /// Blinded-histogram construction, masking and aggregation (steps d–e).
+    pub histogram_blinding: Duration,
+    /// Modular inversion of the blinded totals on the server (step f).
+    pub inverse_computation: Duration,
+}
+
+impl ProtocolTimings {
+    /// Total setup time.
+    pub fn total(&self) -> Duration {
+        self.key_exchange + self.histogram_blinding + self.inverse_computation
+    }
+}
+
+/// Wall-clock timings of one weighting round (steps 2.a–2.c).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundTimings {
+    /// Server-side Poisson sampling and Paillier encryption of the blinded inverses (2.a).
+    pub server_encryption: Duration,
+    /// Silo-side weighted encryption of clipped deltas and noise (2.b), summed over silos.
+    pub silo_weighting: Duration,
+    /// Server-side homomorphic aggregation, decryption and decoding (2.c).
+    pub aggregation: Duration,
+}
+
+impl RoundTimings {
+    /// Total round time.
+    pub fn total(&self) -> Duration {
+        self.server_encryption + self.silo_weighting + self.aggregation
+    }
+}
+
+/// Private user-level sub-sampling via 1-out-of-P oblivious transfer (Section 4.1).
+///
+/// The participation probability is `numerator / denominator`: the server prepares
+/// `numerator` copies of the real encrypted inverse and `denominator − numerator`
+/// encryptions of zero, and one is fetched obliviously. Only rational probabilities can be
+/// expressed this way — the discretisation limitation the paper notes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObliviousSubsampling {
+    /// Number of "real" slots.
+    pub numerator: u64,
+    /// Total number of slots `P`.
+    pub denominator: u64,
+}
+
+impl ObliviousSubsampling {
+    /// Creates a sub-sampling description with participation probability
+    /// `numerator / denominator`.
+    pub fn new(numerator: u64, denominator: u64) -> Self {
+        assert!(denominator >= 1, "denominator must be at least 1");
+        assert!(numerator <= denominator, "numerator must not exceed denominator");
+        ObliviousSubsampling { numerator, denominator }
+    }
+
+    /// The effective user-level participation probability `q = numerator / denominator`.
+    pub fn probability(&self) -> f64 {
+        self.numerator as f64 / self.denominator as f64
+    }
+
+    /// Builds the OT offer for one user: `numerator` re-randomised copies of the real
+    /// ciphertext followed by `denominator − numerator` fresh encryptions of zero.
+    ///
+    /// Every slot is a fresh Paillier encryption, so the receiver cannot tell real from
+    /// dummy slots.
+    pub fn build_offer<R: Rng + ?Sized>(
+        &self,
+        public_key: &PaillierPublicKey,
+        real: &Ciphertext,
+        rng: &mut R,
+    ) -> OneOutOfP<Ciphertext> {
+        let mut items = Vec::with_capacity(self.denominator as usize);
+        for _ in 0..self.numerator {
+            // Re-randomise by homomorphically adding an encryption of zero.
+            let rerandomised = public_key.add(real, &public_key.encrypt(rng, &BigUint::zero()));
+            items.push(rerandomised);
+        }
+        for _ in self.numerator..self.denominator {
+            items.push(public_key.encrypt(rng, &BigUint::zero()));
+        }
+        OneOutOfP::new(items)
+    }
+}
+
+/// The state of a completed setup phase, able to run any number of weighting rounds.
+pub struct PrivateWeightingProtocol {
+    num_silos: usize,
+    num_users: usize,
+    paillier: PaillierKeyPair,
+    codec: FixedPointCodec,
+    c_lcm: BigUint,
+    /// The silos' shared blinding-factor expander (seeded by `R`, never sent to the server).
+    blinder: MultiplicativeBlinder,
+    /// Per-silo record histograms `n_{s,u}` (silo-private in the real deployment).
+    silo_histograms: Vec<Vec<u64>>,
+    /// Cross-silo totals `N_u` (kept only to validate inputs; not revealed by the protocol).
+    user_totals: Vec<u64>,
+    /// Server-side blinded inverses `B_inv(N_u)`; `None` for users with no records.
+    blinded_inverses: Vec<Option<BigUint>>,
+    /// Pairwise secure-aggregation seeds (symmetric).
+    pair_seeds: Vec<Vec<MaskSeed>>,
+    setup_timings: ProtocolTimings,
+}
+
+impl PrivateWeightingProtocol {
+    /// Runs the setup phase (Protocol 1, step 1) for the given per-silo histograms.
+    ///
+    /// `histogram[s][u]` is the number of records user `u` holds in silo `s`. Every user
+    /// total must be at most `config.n_max` for the `C_LCM` divisibility argument of
+    /// Theorem 4 to hold.
+    pub fn setup<R: Rng + ?Sized>(
+        histogram: &[Vec<usize>],
+        config: &ProtocolConfig,
+        rng: &mut R,
+    ) -> Self {
+        let num_silos = histogram.len();
+        assert!(num_silos >= 2, "the protocol needs at least two silos");
+        let num_users = histogram[0].len();
+        assert!(num_users >= 1, "the protocol needs at least one user");
+        assert!(histogram.iter().all(|row| row.len() == num_users));
+
+        // --- Step 1.(a)-(c): key generation and pairwise seed agreement. ---
+        let key_start = Instant::now();
+        let paillier = PaillierKeyPair::generate(rng, config.paillier_bits);
+        let dh_group = if config.use_rfc_group {
+            DhGroup::rfc3526_2048()
+        } else {
+            DhGroup::generate(rng, config.dh_bits.max(64))
+        };
+        let keypairs: Vec<DhKeyPair> =
+            (0..num_silos).map(|_| DhKeyPair::generate(rng, &dh_group)).collect();
+        let mut pair_seeds = vec![vec![MaskSeed::new([0u8; 32]); num_silos]; num_silos];
+        for i in 0..num_silos {
+            for j in 0..num_silos {
+                if i != j {
+                    pair_seeds[i][j] = MaskSeed::new(keypairs[i].shared_seed(keypairs[j].public_key()));
+                }
+            }
+        }
+        // Silo 0 picks the shared random seed R and distributes it over the pairwise
+        // channels; the server never sees it.
+        let mut blind_seed = [0u8; 32];
+        rng.fill(&mut blind_seed);
+        let key_exchange = key_start.elapsed();
+
+        let modulus = paillier.public.n.clone();
+        let codec = FixedPointCodec::new(config.precision, modulus.clone());
+        let c_lcm = uldp_bigint::lcm_up_to(config.n_max);
+        let blinder = MultiplicativeBlinder::new(blind_seed, modulus.clone());
+
+        // --- Step 1.(d)-(e): blinded, masked histogram aggregation. ---
+        let hist_start = Instant::now();
+        let silo_histograms: Vec<Vec<u64>> = histogram
+            .iter()
+            .map(|row| row.iter().map(|&c| c as u64).collect())
+            .collect();
+        let mut user_totals = vec![0u64; num_users];
+        for row in &silo_histograms {
+            for (t, &c) in user_totals.iter_mut().zip(row.iter()) {
+                *t += c;
+            }
+        }
+        for (&total, _) in user_totals.iter().zip(0..num_users) {
+            assert!(
+                total <= config.n_max,
+                "user total {total} exceeds N_max = {} (required by Theorem 4)",
+                config.n_max
+            );
+        }
+        // Each silo blinds and masks its histogram; the server sums the masked values.
+        // The pairwise masks cancel in the sum, so we compute the aggregate directly while
+        // still exercising the blinding (what the server actually sees is r_u * N_u).
+        let mut blinded_totals: Vec<BigUint> = vec![BigUint::zero(); num_users];
+        for row in &silo_histograms {
+            for (u, &count) in row.iter().enumerate() {
+                let blinded = blinder.blind(u as u64, &BigUint::from_u64(count));
+                blinded_totals[u] =
+                    uldp_bigint::modular::mod_add(&blinded_totals[u], &blinded, &modulus);
+            }
+        }
+        let histogram_blinding = hist_start.elapsed();
+
+        // --- Step 1.(f): server inverts the blinded totals. ---
+        let inv_start = Instant::now();
+        let blinded_inverses: Vec<Option<BigUint>> = blinded_totals
+            .iter()
+            .map(|b| if b.is_zero() { None } else { mod_inv(b, &modulus) })
+            .collect();
+        let inverse_computation = inv_start.elapsed();
+
+        PrivateWeightingProtocol {
+            num_silos,
+            num_users,
+            paillier,
+            codec,
+            c_lcm,
+            blinder,
+            silo_histograms,
+            user_totals,
+            blinded_inverses,
+            pair_seeds,
+            setup_timings: ProtocolTimings { key_exchange, histogram_blinding, inverse_computation },
+        }
+    }
+
+    /// Number of silos.
+    pub fn num_silos(&self) -> usize {
+        self.num_silos
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Bit length of the Paillier modulus actually in use.
+    pub fn modulus_bits(&self) -> usize {
+        self.paillier.public.modulus_bits()
+    }
+
+    /// Timings of the setup phase.
+    pub fn setup_timings(&self) -> &ProtocolTimings {
+        &self.setup_timings
+    }
+
+    /// The pairwise secure-aggregation seeds established during setup.
+    pub fn pair_seeds(&self) -> &[Vec<MaskSeed>] {
+        &self.pair_seeds
+    }
+
+    /// The record-proportional weight matrix the protocol implicitly computes
+    /// (`w_{s,u} = n_{s,u} / N_u`), exposed for validation against the plaintext path.
+    pub fn reference_weights(&self) -> WeightMatrix {
+        let histogram: Vec<Vec<usize>> = self
+            .silo_histograms
+            .iter()
+            .map(|row| row.iter().map(|&c| c as usize).collect())
+            .collect();
+        WeightMatrix::from_histogram(WeightingStrategy::RecordProportional, &histogram)
+    }
+
+    /// Runs one weighting round (Protocol 1, step 2).
+    ///
+    /// * `clipped_deltas[s][u]` — silo `s`'s clipped model delta for user `u`
+    ///   (`Δ̃_{s,u}` *before* weighting; empty when the user has no records in the silo).
+    /// * `noises[s]` — the Gaussian noise vector `z_s` silo `s` adds.
+    /// * `sampled` — optional user-level sub-sampling mask; unsampled users' inverses are
+    ///   encrypted as zero (step 2.a), so their deltas drop out exactly.
+    ///
+    /// Returns the decoded aggregate `Σ_s (Σ_u w_{s,u} Δ̃_{s,u} + z_s)` plus per-phase
+    /// timings.
+    pub fn weighting_round<R: Rng + ?Sized>(
+        &self,
+        clipped_deltas: &[Vec<Vec<f64>>],
+        noises: &[Vec<f64>],
+        sampled: Option<&[bool]>,
+        rng: &mut R,
+    ) -> (Vec<f64>, RoundTimings) {
+        assert_eq!(clipped_deltas.len(), self.num_silos, "one delta set per silo required");
+        assert_eq!(noises.len(), self.num_silos, "one noise vector per silo required");
+        let dim = noises[0].len();
+        assert!(dim > 0, "model dimension must be positive");
+
+        // --- Step 2.(a): server encrypts (possibly sub-sampled) blinded inverses. ---
+        let enc_start = Instant::now();
+        let encrypted_inverses: Vec<Ciphertext> = (0..self.num_users)
+            .map(|u| {
+                let keep = sampled.map_or(true, |s| s[u]);
+                match (&self.blinded_inverses[u], keep) {
+                    (Some(inv), true) => self.paillier.public.encrypt(rng, inv),
+                    _ => self.paillier.public.encrypt(rng, &BigUint::zero()),
+                }
+            })
+            .collect();
+        let server_encryption = enc_start.elapsed();
+
+        // --- Steps 2.(b)-(c): silo-side encrypted weighting, secure aggregation of
+        // ciphertexts, decryption and decoding. The pairwise additive masks cancel in the
+        // sum exactly as in step 1.(e); the decrypted aggregate is therefore the same with
+        // or without them.
+        let (out, mut timings) =
+            self.weighting_round_with_inverses(clipped_deltas, noises, &encrypted_inverses, dim);
+        timings.server_encryption = server_encryption;
+        (out, timings)
+    }
+
+    /// Runs one weighting round with **private user-level sub-sampling** via simulated
+    /// 1-out-of-P oblivious transfer (the extension sketched in Section 4.1 of the paper).
+    ///
+    /// For every user the server prepares `sampling.denominator` ciphertexts of which
+    /// `sampling.numerator` encrypt the real blinded inverse and the rest encrypt zero; a
+    /// single ciphertext is obtained through OT and used for the round. The server never
+    /// learns whether a user was sampled (it cannot see the OT choice) and the silos never
+    /// learn it either (a dummy is indistinguishable from a real Paillier ciphertext), so
+    /// the participation probability is exactly `numerator / denominator` but the outcome
+    /// stays hidden — unlike [`PrivateWeightingProtocol::weighting_round`], where the mask
+    /// is chosen by the server in the clear.
+    ///
+    /// Returns the decoded aggregate, the realised selection flags (**for validation and
+    /// accounting tests only** — in a deployment no party may observe them), and the
+    /// per-phase timings.
+    pub fn weighting_round_with_oblivious_subsampling<R: Rng + ?Sized>(
+        &self,
+        clipped_deltas: &[Vec<Vec<f64>>],
+        noises: &[Vec<f64>],
+        sampling: &ObliviousSubsampling,
+        rng: &mut R,
+    ) -> (Vec<f64>, Vec<bool>, RoundTimings) {
+        assert_eq!(clipped_deltas.len(), self.num_silos, "one delta set per silo required");
+        assert_eq!(noises.len(), self.num_silos, "one noise vector per silo required");
+        let dim = noises[0].len();
+
+        // Server side: build the OT offers (step 2.a extended with dummies).
+        let enc_start = Instant::now();
+        let mut chosen = Vec::with_capacity(self.num_users);
+        let mut selected_flags = Vec::with_capacity(self.num_users);
+        for u in 0..self.num_users {
+            let real = match &self.blinded_inverses[u] {
+                Some(inv) => self.paillier.public.encrypt(rng, inv),
+                None => self.paillier.public.encrypt(rng, &BigUint::zero()),
+            };
+            let offer = sampling.build_offer(&self.paillier.public, &real, rng);
+            let (output, _sender_view) = offer.transfer_uniform(rng);
+            // The receiver keeps only the ciphertext; whether it was a real slot is
+            // recorded here purely so tests can validate correctness.
+            let was_real =
+                output.chosen_index < sampling.numerator as usize && self.blinded_inverses[u].is_some();
+            chosen.push(output.item);
+            selected_flags.push(was_real);
+        }
+        let server_encryption = enc_start.elapsed();
+
+        // Silo side and aggregation are identical to the plain round, using the chosen
+        // ciphertexts in place of the server-published inverses.
+        let (out, mut timings) =
+            self.weighting_round_with_inverses(clipped_deltas, noises, &chosen, dim);
+        timings.server_encryption = server_encryption;
+        (out, selected_flags, timings)
+    }
+
+    /// Shared silo-side + aggregation logic of steps 2.(b)-(c), parameterised by the
+    /// per-user encrypted inverses actually distributed to the silos.
+    fn weighting_round_with_inverses(
+        &self,
+        clipped_deltas: &[Vec<Vec<f64>>],
+        noises: &[Vec<f64>],
+        encrypted_inverses: &[Ciphertext],
+        dim: usize,
+    ) -> (Vec<f64>, RoundTimings) {
+        let n = &self.paillier.public.n;
+        let silo_start = Instant::now();
+        let mut per_silo_ciphertexts: Vec<Vec<Ciphertext>> = Vec::with_capacity(self.num_silos);
+        for silo in 0..self.num_silos {
+            assert_eq!(clipped_deltas[silo].len(), self.num_users, "per-user deltas required");
+            assert_eq!(noises[silo].len(), dim, "noise dimensionality mismatch");
+            let mut coords: Vec<Ciphertext> = Vec::with_capacity(dim);
+            for j in 0..dim {
+                let mut acc = self.paillier.public.trivial_zero();
+                for (u, delta) in clipped_deltas[silo].iter().enumerate() {
+                    let n_su = self.silo_histograms[silo][u];
+                    if n_su == 0 || delta.is_empty() {
+                        continue;
+                    }
+                    assert_eq!(delta.len(), dim, "delta dimensionality mismatch");
+                    let mut scalar = self.codec.encode(delta[j]);
+                    scalar = mod_mul(&scalar, &BigUint::from_u64(n_su), n);
+                    scalar = mod_mul(&scalar, &self.blinder.factor(u as u64), n);
+                    scalar = mod_mul(&scalar, &self.c_lcm, n);
+                    let term = self.paillier.public.scalar_mul(&encrypted_inverses[u], &scalar);
+                    acc = self.paillier.public.add(&acc, &term);
+                }
+                let noise_scalar = mod_mul(&self.codec.encode(noises[silo][j]), &self.c_lcm, n);
+                acc = self.paillier.public.add_plain(&acc, &noise_scalar);
+                coords.push(acc);
+            }
+            per_silo_ciphertexts.push(coords);
+        }
+        let silo_weighting = silo_start.elapsed();
+
+        let agg_start = Instant::now();
+        let mut out = Vec::with_capacity(dim);
+        for j in 0..dim {
+            let total = self
+                .paillier
+                .public
+                .sum(per_silo_ciphertexts.iter().map(|coords| &coords[j]));
+            let decrypted = self.paillier.secret.decrypt(&total);
+            out.push(self.codec.decode(&decrypted, &self.c_lcm));
+        }
+        let aggregation = agg_start.elapsed();
+        (
+            out,
+            RoundTimings { server_encryption: Duration::ZERO, silo_weighting, aggregation },
+        )
+    }
+
+    /// The plaintext value the protocol is supposed to compute:
+    /// `Σ_s ( Σ_u (n_{s,u} / N_u) Δ̃_{s,u} + z_s )`, honouring the sub-sampling mask.
+    pub fn plaintext_reference(
+        &self,
+        clipped_deltas: &[Vec<Vec<f64>>],
+        noises: &[Vec<f64>],
+        sampled: Option<&[bool]>,
+    ) -> Vec<f64> {
+        let dim = noises[0].len();
+        let mut out = vec![0.0; dim];
+        for silo in 0..self.num_silos {
+            for (u, delta) in clipped_deltas[silo].iter().enumerate() {
+                let keep = sampled.map_or(true, |s| s[u]);
+                let n_su = self.silo_histograms[silo][u];
+                if !keep || n_su == 0 || delta.is_empty() || self.user_totals[u] == 0 {
+                    continue;
+                }
+                let w = n_su as f64 / self.user_totals[u] as f64;
+                for (o, d) in out.iter_mut().zip(delta.iter()) {
+                    *o += w * d;
+                }
+            }
+            for (o, z) in out.iter_mut().zip(noises[silo].iter()) {
+                *o += z;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_histogram() -> Vec<Vec<usize>> {
+        // 3 silos, 4 users
+        vec![vec![2, 0, 1, 3], vec![1, 4, 0, 1], vec![0, 2, 2, 0]]
+    }
+
+    fn test_config() -> ProtocolConfig {
+        ProtocolConfig { paillier_bits: 256, dh_bits: 128, n_max: 16, ..Default::default() }
+    }
+
+    fn deltas_and_noise(
+        histogram: &[Vec<usize>],
+        dim: usize,
+        seed: u64,
+    ) -> (Vec<Vec<Vec<f64>>>, Vec<Vec<f64>>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let deltas: Vec<Vec<Vec<f64>>> = histogram
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&c| {
+                        if c == 0 {
+                            Vec::new()
+                        } else {
+                            (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let noises: Vec<Vec<f64>> = histogram
+            .iter()
+            .map(|_| (0..dim).map(|_| rng.gen_range(-0.01..0.01)).collect())
+            .collect();
+        (deltas, noises)
+    }
+
+    #[test]
+    fn protocol_matches_plaintext_aggregation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let histogram = small_histogram();
+        let protocol = PrivateWeightingProtocol::setup(&histogram, &test_config(), &mut rng);
+        let (deltas, noises) = deltas_and_noise(&histogram, 4, 2);
+        let (secure, timings) = protocol.weighting_round(&deltas, &noises, None, &mut rng);
+        let reference = protocol.plaintext_reference(&deltas, &noises, None);
+        for (a, b) in secure.iter().zip(reference.iter()) {
+            assert!((a - b).abs() < 1e-6, "secure {a} vs plaintext {b}");
+        }
+        assert!(timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn subsampling_removes_unsampled_users_exactly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let histogram = small_histogram();
+        let protocol = PrivateWeightingProtocol::setup(&histogram, &test_config(), &mut rng);
+        let (deltas, noises) = deltas_and_noise(&histogram, 3, 4);
+        let sampled = vec![true, false, true, false];
+        let (secure, _) = protocol.weighting_round(&deltas, &noises, Some(&sampled), &mut rng);
+        let reference = protocol.plaintext_reference(&deltas, &noises, Some(&sampled));
+        for (a, b) in secure.iter().zip(reference.iter()) {
+            assert!((a - b).abs() < 1e-6, "secure {a} vs plaintext {b}");
+        }
+        // and it differs from the un-sampled aggregate
+        let full_reference = protocol.plaintext_reference(&deltas, &noises, None);
+        let diff: f64 = reference
+            .iter()
+            .zip(full_reference.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-3);
+    }
+
+    #[test]
+    fn reference_weights_match_record_proportional_strategy() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let histogram = small_histogram();
+        let protocol = PrivateWeightingProtocol::setup(&histogram, &test_config(), &mut rng);
+        let weights = protocol.reference_weights();
+        assert!((weights.get(0, 0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((weights.get(1, 1) - 4.0 / 6.0).abs() < 1e-12);
+        assert!(weights.satisfies_sensitivity_constraint(1e-9));
+    }
+
+    #[test]
+    fn setup_reports_timings_and_key_size() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let protocol = PrivateWeightingProtocol::setup(&small_histogram(), &test_config(), &mut rng);
+        assert!(protocol.setup_timings().total() > Duration::ZERO);
+        assert!(protocol.modulus_bits() >= 255);
+        assert_eq!(protocol.num_silos(), 3);
+        assert_eq!(protocol.num_users(), 4);
+        assert_eq!(protocol.pair_seeds().len(), 3);
+    }
+
+    #[test]
+    fn oblivious_subsampling_always_selected_matches_full_round() {
+        // numerator == denominator: every user is selected, so the result must equal the
+        // plaintext reference with no mask.
+        let mut rng = StdRng::seed_from_u64(31);
+        let histogram = small_histogram();
+        let protocol = PrivateWeightingProtocol::setup(&histogram, &test_config(), &mut rng);
+        let (deltas, noises) = deltas_and_noise(&histogram, 3, 32);
+        let sampling = ObliviousSubsampling::new(4, 4);
+        let (secure, flags, _) =
+            protocol.weighting_round_with_oblivious_subsampling(&deltas, &noises, &sampling, &mut rng);
+        assert!(flags.iter().all(|&f| f));
+        let reference = protocol.plaintext_reference(&deltas, &noises, None);
+        for (a, b) in secure.iter().zip(reference.iter()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn oblivious_subsampling_never_selected_leaves_only_noise() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let histogram = small_histogram();
+        let protocol = PrivateWeightingProtocol::setup(&histogram, &test_config(), &mut rng);
+        let (deltas, noises) = deltas_and_noise(&histogram, 3, 34);
+        let sampling = ObliviousSubsampling::new(0, 4);
+        let (secure, flags, _) =
+            protocol.weighting_round_with_oblivious_subsampling(&deltas, &noises, &sampling, &mut rng);
+        assert!(flags.iter().all(|&f| !f));
+        // Only the per-silo noise survives.
+        let noise_only = protocol.plaintext_reference(
+            &vec![vec![Vec::new(); protocol.num_users()]; protocol.num_silos()],
+            &noises,
+            None,
+        );
+        for (a, b) in secure.iter().zip(noise_only.iter()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn oblivious_subsampling_matches_plaintext_for_realised_selection() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let histogram = small_histogram();
+        let protocol = PrivateWeightingProtocol::setup(&histogram, &test_config(), &mut rng);
+        let (deltas, noises) = deltas_and_noise(&histogram, 3, 36);
+        let sampling = ObliviousSubsampling::new(1, 2);
+        assert!((sampling.probability() - 0.5).abs() < 1e-12);
+        let (secure, flags, _) =
+            protocol.weighting_round_with_oblivious_subsampling(&deltas, &noises, &sampling, &mut rng);
+        let reference = protocol.plaintext_reference(&deltas, &noises, Some(&flags));
+        for (a, b) in secure.iter().zip(reference.iter()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "numerator must not exceed denominator")]
+    fn oblivious_subsampling_rejects_invalid_fraction() {
+        let _ = ObliviousSubsampling::new(3, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds N_max")]
+    fn rejects_user_totals_above_n_max() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let histogram = vec![vec![20usize], vec![20usize]];
+        let cfg = ProtocolConfig { n_max: 8, paillier_bits: 128, dh_bits: 64, ..Default::default() };
+        let _ = PrivateWeightingProtocol::setup(&histogram, &cfg, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two silos")]
+    fn rejects_single_silo() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let _ = PrivateWeightingProtocol::setup(&[vec![1, 2]], &test_config(), &mut rng);
+    }
+}

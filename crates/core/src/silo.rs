@@ -1,0 +1,215 @@
+//! Silo-local training subroutines.
+//!
+//! Three local procedures cover everything the paper's client algorithms need:
+//!
+//! * [`local_train`] — plain mini-batch SGD over a record set for `Q` epochs, returning
+//!   the model delta (`Client` of DEFAULT and of ULDP-NAIVE before clipping, and the
+//!   per-user inner loop of ULDP-AVG when called with one user's records).
+//! * [`local_gradient`] — a single full-batch gradient (the per-user step of ULDP-SGD).
+//! * [`dp_sgd`] — record-level DP-SGD (Abadi et al.): per-record gradient clipping,
+//!   Poisson record sampling and Gaussian noise, used by the ULDP-GROUP-k baseline.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use uldp_ml::{clipping, rng::gaussian_vector, Model, Sample, Sgd};
+
+/// Runs `epochs` of mini-batch SGD starting from `initial_params` over `records`, and
+/// returns the parameter delta `x_local − x_initial`.
+///
+/// Returns a zero delta when `records` is empty (a silo or user with no data contributes
+/// nothing).
+pub fn local_train<R: Rng + ?Sized>(
+    model: &mut dyn Model,
+    initial_params: &[f64],
+    records: &[&Sample],
+    epochs: u64,
+    learning_rate: f64,
+    batch_size: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    assert!(batch_size > 0);
+    model.set_parameters(initial_params);
+    if records.is_empty() {
+        return vec![0.0; initial_params.len()];
+    }
+    let sgd = Sgd::new(learning_rate);
+    let mut order: Vec<usize> = (0..records.len()).collect();
+    for _ in 0..epochs {
+        order.shuffle(rng);
+        for chunk in order.chunks(batch_size) {
+            let batch: Vec<&Sample> = chunk.iter().map(|&i| records[i]).collect();
+            let (_, grad) = model.loss_and_gradient(&batch);
+            sgd.step(model.parameters_mut(), &grad);
+        }
+    }
+    model
+        .parameters()
+        .iter()
+        .zip(initial_params.iter())
+        .map(|(new, old)| new - old)
+        .collect()
+}
+
+/// A single full-batch gradient of the loss at `params` over `records`.
+///
+/// Returns a zero gradient when `records` is empty.
+pub fn local_gradient(model: &mut dyn Model, params: &[f64], records: &[&Sample]) -> Vec<f64> {
+    model.set_parameters(params);
+    if records.is_empty() {
+        return vec![0.0; params.len()];
+    }
+    model.loss_and_gradient(records).1
+}
+
+/// Record-level DP-SGD (Algorithm 1 of Abadi et al.), the local subroutine of
+/// ULDP-GROUP-k.
+///
+/// Each of the `steps` iterations Poisson-samples records with probability
+/// `sampling_rate`, clips every per-record gradient to `clip_bound`, sums them, adds
+/// Gaussian noise with standard deviation `sigma · clip_bound`, and divides by the
+/// *expected* batch size. Returns the parameter delta.
+#[allow(clippy::too_many_arguments)]
+pub fn dp_sgd<R: Rng + ?Sized>(
+    model: &mut dyn Model,
+    initial_params: &[f64],
+    records: &[&Sample],
+    steps: u64,
+    learning_rate: f64,
+    clip_bound: f64,
+    sigma: f64,
+    sampling_rate: f64,
+    rng: &mut R,
+) -> Vec<f64> {
+    assert!(sampling_rate > 0.0 && sampling_rate <= 1.0);
+    model.set_parameters(initial_params);
+    if records.is_empty() {
+        return vec![0.0; initial_params.len()];
+    }
+    let dim = initial_params.len();
+    let expected_batch = (sampling_rate * records.len() as f64).max(1.0);
+    let sgd = Sgd::new(learning_rate);
+    for _ in 0..steps {
+        let mut sum_grad = vec![0.0; dim];
+        for record in records {
+            if !rng.gen_bool(sampling_rate) {
+                continue;
+            }
+            let (_, grad) = model.loss_and_gradient(&[*record]);
+            let clipped = clipping::clipped(&grad, clip_bound);
+            for (s, g) in sum_grad.iter_mut().zip(clipped.iter()) {
+                *s += g;
+            }
+        }
+        let noise = gaussian_vector(rng, sigma * clip_bound, dim);
+        for ((s, n), _) in sum_grad.iter_mut().zip(noise.iter()).zip(0..dim) {
+            *s = (*s + n) / expected_batch;
+        }
+        sgd.step(model.parameters_mut(), &sum_grad);
+    }
+    model
+        .parameters()
+        .iter()
+        .zip(initial_params.iter())
+        .map(|(new, old)| new - old)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use uldp_ml::{LinearClassifier, Model, Sample};
+
+    fn separable_data() -> Vec<Sample> {
+        vec![
+            Sample::classification(vec![2.0, 1.0], 1),
+            Sample::classification(vec![1.5, 2.0], 1),
+            Sample::classification(vec![-2.0, -1.0], 0),
+            Sample::classification(vec![-1.5, -2.0], 0),
+        ]
+    }
+
+    #[test]
+    fn local_train_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = LinearClassifier::new(2, 2);
+        let data = separable_data();
+        let refs: Vec<&Sample> = data.iter().collect();
+        let init = model.parameters().to_vec();
+        let initial_loss = {
+            model.set_parameters(&init);
+            model.loss(&refs)
+        };
+        let delta = local_train(&mut model, &init, &refs, 20, 0.5, 2, &mut rng);
+        assert_eq!(delta.len(), init.len());
+        // applying the delta reduces the loss
+        let new_params: Vec<f64> = init.iter().zip(delta.iter()).map(|(a, b)| a + b).collect();
+        model.set_parameters(&new_params);
+        assert!(model.loss(&refs) < initial_loss);
+    }
+
+    #[test]
+    fn empty_records_give_zero_delta() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = LinearClassifier::new(2, 2);
+        let init = vec![0.5; model.num_parameters()];
+        let delta = local_train(&mut model, &init, &[], 5, 0.1, 4, &mut rng);
+        assert!(delta.iter().all(|&d| d == 0.0));
+        let grad = local_gradient(&mut model, &init, &[]);
+        assert!(grad.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn local_gradient_matches_model_gradient() {
+        let mut model = LinearClassifier::new(2, 2);
+        let data = separable_data();
+        let refs: Vec<&Sample> = data.iter().collect();
+        let params = vec![0.1; model.num_parameters()];
+        let g1 = local_gradient(&mut model, &params, &refs);
+        model.set_parameters(&params);
+        let (_, g2) = model.loss_and_gradient(&refs);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn dp_sgd_without_noise_learns() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model = LinearClassifier::new(2, 2);
+        let data = separable_data();
+        let refs: Vec<&Sample> = data.iter().collect();
+        let init = vec![0.0; model.num_parameters()];
+        let delta = dp_sgd(&mut model, &init, &refs, 60, 0.5, 5.0, 0.0, 1.0, &mut rng);
+        let new_params: Vec<f64> = init.iter().zip(delta.iter()).map(|(a, b)| a + b).collect();
+        model.set_parameters(&new_params);
+        let preds: Vec<usize> = data.iter().map(|s| model.predict(&s.features)).collect();
+        let labels: Vec<usize> = data.iter().map(|s| s.target.class().unwrap()).collect();
+        assert_eq!(preds, labels);
+    }
+
+    #[test]
+    fn dp_sgd_noise_perturbs_delta() {
+        let mut model = LinearClassifier::new(2, 2);
+        let data = separable_data();
+        let refs: Vec<&Sample> = data.iter().collect();
+        let init = vec![0.0; model.num_parameters()];
+        let mut rng1 = StdRng::seed_from_u64(3);
+        let noiseless = dp_sgd(&mut model, &init, &refs, 5, 0.1, 1.0, 0.0, 1.0, &mut rng1);
+        let mut rng2 = StdRng::seed_from_u64(3);
+        let noisy = dp_sgd(&mut model, &init, &refs, 5, 0.1, 1.0, 5.0, 1.0, &mut rng2);
+        assert_ne!(noiseless, noisy);
+    }
+
+    #[test]
+    fn local_train_is_deterministic_given_seed() {
+        let data = separable_data();
+        let refs: Vec<&Sample> = data.iter().collect();
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut model = LinearClassifier::new(2, 2);
+            let init = vec![0.0; model.num_parameters()];
+            local_train(&mut model, &init, &refs, 3, 0.1, 2, &mut rng)
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

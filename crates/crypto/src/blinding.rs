@@ -1,0 +1,147 @@
+//! Multiplicative blinding in the finite field `F_n`.
+//!
+//! In Protocol 1 the silos share a random seed `R` (unknown to the server) from which they
+//! expand a blinding factor `r_u ∈ F_n` per user. Each silo sends the server only the
+//! blinded histogram value `B(n_{s,u}) = r_u · n_{s,u} mod n`; the server can aggregate and
+//! invert the blinded totals (`B_inv(N_u) = (r_u · N_u)^{-1}`) but, because multiplication
+//! by a uniformly random unit is a bijection of `F_n`, learns nothing about `N_u` itself
+//! (Theorem 5). The silos later cancel `r_u` by multiplying with it once more inside the
+//! Paillier ciphertext.
+
+use crate::sha256::hash_parts;
+use uldp_bigint::modular::{mod_inv, mod_mul};
+use uldp_bigint::BigUint;
+
+/// Expands per-user multiplicative blinding factors from the silo-shared seed `R`.
+#[derive(Clone, Debug)]
+pub struct MultiplicativeBlinder {
+    seed: [u8; 32],
+    modulus: BigUint,
+}
+
+impl MultiplicativeBlinder {
+    /// Creates a blinder over `F_modulus` from the shared random seed `R`.
+    pub fn new(seed: [u8; 32], modulus: BigUint) -> Self {
+        assert!(!modulus.is_zero());
+        MultiplicativeBlinder { seed, modulus }
+    }
+
+    /// The blinding factor `r_u` for user index `u`.
+    ///
+    /// Factors are sampled to be invertible (coprime to the modulus); for a Paillier
+    /// modulus `n = p·q` with large primes the rejection probability is negligible
+    /// (Eq. (4) of the paper).
+    pub fn factor(&self, user_index: u64) -> BigUint {
+        let bits = self.modulus.bit_length();
+        let bytes_needed = (bits + 7) / 8;
+        let mut counter = 0u64;
+        loop {
+            let mut material = Vec::with_capacity(bytes_needed + 32);
+            while material.len() < bytes_needed {
+                let block = hash_parts(
+                    "uldp-fl/multiplicative-blind",
+                    &[
+                        &self.seed,
+                        &user_index.to_be_bytes(),
+                        &counter.to_be_bytes(),
+                        &(material.len() as u64).to_be_bytes(),
+                    ],
+                );
+                material.extend_from_slice(&block);
+            }
+            material.truncate(bytes_needed);
+            let candidate = BigUint::from_bytes_be(&material).shr_bits(bytes_needed * 8 - bits);
+            if candidate.is_zero() || &candidate >= &self.modulus {
+                counter += 1;
+                continue;
+            }
+            if uldp_bigint::gcd(&candidate, &self.modulus).is_one() {
+                return candidate;
+            }
+            counter += 1;
+        }
+    }
+
+    /// Blinds `value` for user `user_index`: `r_u · value mod n`.
+    pub fn blind(&self, user_index: u64, value: &BigUint) -> BigUint {
+        mod_mul(&self.factor(user_index), value, &self.modulus)
+    }
+
+    /// Removes the blinding factor from `value`: `r_u^{-1} · value mod n`.
+    pub fn unblind(&self, user_index: u64, value: &BigUint) -> BigUint {
+        let inv = mod_inv(&self.factor(user_index), &self.modulus)
+            .expect("blinding factors are sampled invertible");
+        mod_mul(&inv, value, &self.modulus)
+    }
+
+    /// The field modulus.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn modulus() -> BigUint {
+        // product of two primes, mimicking a tiny Paillier modulus
+        BigUint::from_u64(1_000_003).mul(&BigUint::from_u64(999_983))
+    }
+
+    fn blinder(tag: u8) -> MultiplicativeBlinder {
+        let mut seed = [0u8; 32];
+        seed[0] = tag;
+        MultiplicativeBlinder::new(seed, modulus())
+    }
+
+    #[test]
+    fn blind_unblind_roundtrip() {
+        let b = blinder(1);
+        for v in [1u64, 2, 57, 1999, 123_456] {
+            let value = BigUint::from_u64(v);
+            let blinded = b.blind(7, &value);
+            assert_ne!(blinded, value);
+            assert_eq!(b.unblind(7, &blinded), value);
+        }
+    }
+
+    #[test]
+    fn factors_are_deterministic_per_user() {
+        let b = blinder(2);
+        assert_eq!(b.factor(3), b.factor(3));
+        assert_ne!(b.factor(3), b.factor(4));
+    }
+
+    #[test]
+    fn same_seed_gives_same_factors_across_silos() {
+        // All silos share the seed R, so they must expand identical factors.
+        let a = blinder(5);
+        let b = blinder(5);
+        for u in 0..20 {
+            assert_eq!(a.factor(u), b.factor(u));
+        }
+    }
+
+    #[test]
+    fn factors_are_invertible() {
+        let b = blinder(3);
+        for u in 0..50 {
+            let f = b.factor(u);
+            assert!(uldp_bigint::modular::mod_inv(&f, b.modulus()).is_some());
+        }
+    }
+
+    #[test]
+    fn blinding_is_homomorphic_for_sums_of_same_user() {
+        // r_u * a + r_u * b = r_u * (a + b) mod n — the property that lets the server
+        // aggregate blinded histograms across silos before inverting.
+        let b = blinder(4);
+        let m = modulus();
+        let a_val = BigUint::from_u64(17);
+        let b_val = BigUint::from_u64(25);
+        let lhs = uldp_bigint::modular::mod_add(&b.blind(9, &a_val), &b.blind(9, &b_val), &m);
+        let rhs = b.blind(9, &uldp_bigint::modular::mod_add(&a_val, &b_val, &m));
+        assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,189 @@
+//! Pairwise additive masking for secure aggregation.
+//!
+//! Following Bonawitz et al. (secure aggregation), every ordered pair of silos `(s, s')`
+//! shares a symmetric seed (derived via Diffie–Hellman in the setup phase of Protocol 1).
+//! Before sending a value `x_s ∈ F_n` to the server, silo `s` adds
+//! `Σ_{s < s'} r_{s,s'} − Σ_{s > s'} r_{s,s'}` where `r_{s,s'} = r_{s',s}` is expanded
+//! deterministically from the shared seed, the user index and the round number.
+//! When the server sums the masked contributions of *all* silos the masks cancel exactly,
+//! so the server only learns the aggregate. Cross-silo FL assumes full participation
+//! (paper §2.1), so no dropout-recovery machinery is needed.
+
+use crate::sha256::hash_parts;
+use uldp_bigint::modular::{mod_add, mod_sub};
+use uldp_bigint::BigUint;
+
+/// A 32-byte symmetric seed shared by a pair of silos.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MaskSeed(pub [u8; 32]);
+
+impl MaskSeed {
+    /// Wraps raw seed bytes (typically the output of [`crate::dh::DhKeyPair::shared_seed`]).
+    pub fn new(bytes: [u8; 32]) -> Self {
+        MaskSeed(bytes)
+    }
+}
+
+/// Deterministic expander turning a pair seed into per-context field elements.
+#[derive(Clone, Debug)]
+pub struct MaskGenerator {
+    seed: MaskSeed,
+    modulus: BigUint,
+}
+
+impl MaskGenerator {
+    /// Creates a generator for masks in `F_modulus`.
+    pub fn new(seed: MaskSeed, modulus: BigUint) -> Self {
+        assert!(!modulus.is_zero());
+        MaskGenerator { seed, modulus }
+    }
+
+    /// Expands the mask for a given `(round, index)` context.
+    ///
+    /// `index` identifies the masked slot: a user id when masking histograms, or a
+    /// parameter coordinate when masking model deltas. Both silos of a pair derive the
+    /// identical value because the seed is symmetric.
+    pub fn mask(&self, round: u64, index: u64) -> BigUint {
+        // Rejection-sample uniformly in [0, modulus) using counter-mode SHA-256.
+        let bits = self.modulus.bit_length();
+        let bytes_needed = (bits + 7) / 8;
+        let mut counter: u64 = 0;
+        loop {
+            let mut material = Vec::with_capacity(bytes_needed + 32);
+            while material.len() < bytes_needed {
+                let block = hash_parts(
+                    "uldp-fl/pairwise-mask",
+                    &[
+                        &self.seed.0,
+                        &round.to_be_bytes(),
+                        &index.to_be_bytes(),
+                        &counter.to_be_bytes(),
+                        &(material.len() as u64).to_be_bytes(),
+                    ],
+                );
+                material.extend_from_slice(&block);
+            }
+            material.truncate(bytes_needed);
+            // Trim excess bits so the candidate has at most `bits` bits.
+            let candidate = BigUint::from_bytes_be(&material).shr_bits(bytes_needed * 8 - bits);
+            if &candidate < &self.modulus {
+                return candidate;
+            }
+            counter += 1;
+        }
+    }
+
+    /// The field modulus masks live in.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+}
+
+/// Applies the net pairwise mask for silo `silo_id` to `value`.
+///
+/// `pair_masks` holds, for every *other* silo `s'`, the tuple
+/// `(other_silo_id, mask r_{silo,s'})`. Following Protocol 1 step 1.(e), masks towards
+/// higher-indexed silos are added and masks towards lower-indexed silos are subtracted,
+/// so that the sum over all silos cancels.
+pub fn apply_pairwise_masks(
+    value: &BigUint,
+    silo_id: usize,
+    pair_masks: &[(usize, BigUint)],
+    modulus: &BigUint,
+) -> BigUint {
+    let mut out = value.rem(modulus);
+    for (other, mask) in pair_masks {
+        if *other == silo_id {
+            continue;
+        }
+        if silo_id < *other {
+            out = mod_add(&out, mask, modulus);
+        } else {
+            out = mod_sub(&out, mask, modulus);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed(tag: u8) -> MaskSeed {
+        let mut bytes = [0u8; 32];
+        bytes[0] = tag;
+        MaskSeed::new(bytes)
+    }
+
+    fn modulus() -> BigUint {
+        // a ~120-bit modulus
+        BigUint::from_u128(0x0102_0304_0506_0708_090a_0b0c_0d0e_0f11)
+    }
+
+    #[test]
+    fn masks_are_deterministic_and_context_dependent() {
+        let gen = MaskGenerator::new(seed(1), modulus());
+        assert_eq!(gen.mask(0, 0), gen.mask(0, 0));
+        assert_ne!(gen.mask(0, 0), gen.mask(0, 1));
+        assert_ne!(gen.mask(0, 0), gen.mask(1, 0));
+        let other = MaskGenerator::new(seed(2), modulus());
+        assert_ne!(gen.mask(0, 0), other.mask(0, 0));
+    }
+
+    #[test]
+    fn masks_are_in_field() {
+        let gen = MaskGenerator::new(seed(3), modulus());
+        for i in 0..200 {
+            assert!(gen.mask(7, i) < modulus());
+        }
+    }
+
+    #[test]
+    fn pairwise_masks_cancel_over_all_silos() {
+        let m = modulus();
+        let num_silos = 5;
+        // symmetric seeds per unordered pair
+        let pair_seed = |a: usize, b: usize| {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            seed((lo * 10 + hi) as u8)
+        };
+        let values: Vec<BigUint> = (0..num_silos).map(|i| BigUint::from_u64(100 + i as u64)).collect();
+        let mut masked_sum = BigUint::zero();
+        for s in 0..num_silos {
+            let pair_masks: Vec<(usize, BigUint)> = (0..num_silos)
+                .filter(|&o| o != s)
+                .map(|o| {
+                    let gen = MaskGenerator::new(pair_seed(s, o), m.clone());
+                    (o, gen.mask(3, 42))
+                })
+                .collect();
+            let masked = apply_pairwise_masks(&values[s], s, &pair_masks, &m);
+            masked_sum = mod_add(&masked_sum, &masked, &m);
+        }
+        let expected: BigUint = values.iter().fold(BigUint::zero(), |acc, v| mod_add(&acc, v, &m));
+        assert_eq!(masked_sum, expected);
+    }
+
+    #[test]
+    fn single_masked_value_is_hidden() {
+        // With at least one other silo, the masked value differs from the plaintext
+        // (overwhelmingly likely for a random mask).
+        let m = modulus();
+        let gen = MaskGenerator::new(seed(9), m.clone());
+        let value = BigUint::from_u64(55);
+        let masked = apply_pairwise_masks(&value, 0, &[(1, gen.mask(0, 0))], &m);
+        assert_ne!(masked, value);
+    }
+
+    #[test]
+    fn two_silo_cancellation() {
+        let m = modulus();
+        let gen = MaskGenerator::new(seed(4), m.clone());
+        let mask = gen.mask(1, 2);
+        let a = BigUint::from_u64(10);
+        let b = BigUint::from_u64(20);
+        let ma = apply_pairwise_masks(&a, 0, &[(1, mask.clone())], &m);
+        let mb = apply_pairwise_masks(&b, 1, &[(0, mask)], &m);
+        assert_eq!(mod_add(&ma, &mb, &m), BigUint::from_u64(30));
+    }
+}

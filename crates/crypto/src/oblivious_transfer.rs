@@ -1,0 +1,124 @@
+//! Simulated 1-out-of-P oblivious transfer (OT).
+//!
+//! Section 4.1 of the paper sketches how the *result* of user-level sub-sampling can be
+//! hidden from both the server and the silos: for every user the server prepares `P`
+//! Paillier ciphertexts — some encrypting the real blinded inverse `B_inv(N_u)`, the rest
+//! encrypting zero — and the receiving party obtains exactly one of them through a
+//! 1-out-of-P OT. The server does not learn which item was transferred (so it does not
+//! learn whether the user was sampled), and the receiver cannot distinguish the real
+//! ciphertext from a dummy (both are fresh Paillier encryptions), so neither party learns
+//! the sampling outcome.
+//!
+//! This module provides a *simulated* OT: the sender's view is modelled explicitly and
+//! contains only the number of items offered, never the chosen index. Replacing the
+//! simulation with a cryptographic OT (e.g. Naor–Pinkas) would not change any calling
+//! code; the simulation keeps the repository self-contained while still exercising the
+//! message flow and the cost model (the server must prepare `P` ciphertexts per user).
+
+use rand::Rng;
+
+/// What the sender observes from one transfer: only the number of items it offered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SenderView {
+    /// Number of items offered in the transfer (`P`).
+    pub items_offered: usize,
+}
+
+/// The receiver's output of one transfer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReceiverOutput<T> {
+    /// The single item obtained.
+    pub item: T,
+    /// The index the receiver chose. Known only to the receiver; it must never be sent
+    /// back to the sender.
+    pub chosen_index: usize,
+}
+
+/// A 1-out-of-P oblivious transfer offer.
+#[derive(Clone, Debug)]
+pub struct OneOutOfP<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> OneOutOfP<T> {
+    /// Creates an offer over `items` (`P = items.len()`, which must be at least 1).
+    pub fn new(items: Vec<T>) -> Self {
+        assert!(!items.is_empty(), "an OT offer needs at least one item");
+        OneOutOfP { items }
+    }
+
+    /// The number of items `P`.
+    pub fn p(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Executes the transfer with the receiver choosing uniformly at random.
+    ///
+    /// Returns the receiver's output and the sender's view. The sender's view contains no
+    /// information about the choice — this is the guarantee a cryptographic OT would
+    /// enforce and that the simulation preserves by construction.
+    pub fn transfer_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> (ReceiverOutput<T>, SenderView) {
+        let chosen_index = rng.gen_range(0..self.items.len());
+        self.transfer_at(chosen_index)
+    }
+
+    /// Executes the transfer with an explicit receiver choice (used by tests).
+    pub fn transfer_at(&self, chosen_index: usize) -> (ReceiverOutput<T>, SenderView) {
+        assert!(chosen_index < self.items.len(), "choice out of range");
+        (
+            ReceiverOutput { item: self.items[chosen_index].clone(), chosen_index },
+            SenderView { items_offered: self.items.len() },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn receiver_gets_exactly_the_chosen_item() {
+        let ot = OneOutOfP::new(vec!["a", "b", "c", "d"]);
+        for i in 0..4 {
+            let (out, view) = ot.transfer_at(i);
+            assert_eq!(out.item, ["a", "b", "c", "d"][i]);
+            assert_eq!(out.chosen_index, i);
+            assert_eq!(view.items_offered, 4);
+        }
+    }
+
+    #[test]
+    fn sender_view_is_independent_of_the_choice() {
+        let ot = OneOutOfP::new(vec![1, 2, 3]);
+        let (_, v0) = ot.transfer_at(0);
+        let (_, v2) = ot.transfer_at(2);
+        assert_eq!(v0, v2);
+    }
+
+    #[test]
+    fn uniform_choice_covers_all_items() {
+        let ot = OneOutOfP::new((0..5).collect::<Vec<_>>());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let (out, _) = ot.transfer_uniform(&mut rng);
+            seen[out.item] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn empty_offer_rejected() {
+        let _ = OneOutOfP::<u8>::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "choice out of range")]
+    fn out_of_range_choice_rejected() {
+        let ot = OneOutOfP::new(vec![1]);
+        let _ = ot.transfer_at(3);
+    }
+}

@@ -1,0 +1,288 @@
+//! The Paillier additively homomorphic cryptosystem.
+//!
+//! Protocol 1 uses Paillier encryption so that the server can hand the silos the
+//! encrypted blinded inverse histograms `Enc_p(B_inv(N_u))` and the silos can compute
+//! weighted, clipped model deltas *under encryption* (scalar multiplication by public
+//! per-silo factors and homomorphic summation), without ever learning the inverses and
+//! without the server learning the per-silo histograms.
+//!
+//! The implementation uses the standard simplified variant with generator `g = n + 1`:
+//!
+//! * `Enc(m; r) = (1 + m·n) · r^n  mod n²`
+//! * `Dec(c) = L(c^λ mod n²) · μ  mod n`, where `L(x) = (x − 1)/n`, `λ = lcm(p−1, q−1)`
+//!   and `μ = λ^{-1} mod n` (valid for `g = n + 1`).
+//!
+//! Homomorphic operations: ciphertext addition is multiplication mod `n²`, and
+//! multiplication by a plaintext scalar is modular exponentiation.
+
+use rand::Rng;
+use uldp_bigint::modular::{mod_inv, mod_mul, mod_pow};
+use uldp_bigint::{lcm, prime, BigUint};
+
+/// Paillier public key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PaillierPublicKey {
+    /// Modulus `n = p·q`; also the plaintext space `F_n` used by Protocol 1.
+    pub n: BigUint,
+    /// Cached `n²`, the ciphertext modulus.
+    pub n_squared: BigUint,
+}
+
+/// Paillier secret key.
+#[derive(Clone, Debug)]
+pub struct PaillierSecretKey {
+    /// `λ = lcm(p − 1, q − 1)`.
+    lambda: BigUint,
+    /// `μ = λ^{-1} mod n`.
+    mu: BigUint,
+    /// The matching public key.
+    public: PaillierPublicKey,
+}
+
+/// A Paillier key pair held by the aggregation server.
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use uldp_bigint::BigUint;
+/// use uldp_crypto::paillier::PaillierKeyPair;
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let keys = PaillierKeyPair::generate(&mut rng, 256);
+/// let a = keys.public.encrypt(&mut rng, &BigUint::from_u64(20));
+/// let b = keys.public.encrypt(&mut rng, &BigUint::from_u64(22));
+/// let sum = keys.public.add(&a, &b);
+/// assert_eq!(keys.secret.decrypt(&sum), BigUint::from_u64(42));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PaillierKeyPair {
+    /// Public part, distributed to all silos in setup step 1.(a).
+    pub public: PaillierPublicKey,
+    /// Secret part, kept by the server.
+    pub secret: PaillierSecretKey,
+}
+
+/// A Paillier ciphertext (an element of the multiplicative group mod `n²`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ciphertext(pub BigUint);
+
+impl PaillierKeyPair {
+    /// Generates a key pair whose modulus `n` has (approximately) `modulus_bits` bits.
+    ///
+    /// The paper's default security parameter is a 3072-bit modulus; tests use much
+    /// smaller sizes.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, modulus_bits: usize) -> Self {
+        assert!(modulus_bits >= 16, "modulus must be at least 16 bits");
+        let half = modulus_bits / 2;
+        loop {
+            let (p, q) = prime::generate_prime_pair(rng, half);
+            let n = p.mul(&q);
+            // Require gcd(n, (p-1)(q-1)) == 1, guaranteed for same-size primes, and the
+            // requested bit length for predictable field sizes.
+            if n.bit_length() < modulus_bits - 1 {
+                continue;
+            }
+            let p1 = p.sub(&BigUint::one());
+            let q1 = q.sub(&BigUint::one());
+            let lambda = lcm(&p1, &q1);
+            let mu = match mod_inv(&lambda, &n) {
+                Some(mu) => mu,
+                None => continue,
+            };
+            let n_squared = n.mul(&n);
+            let public = PaillierPublicKey { n, n_squared };
+            let secret = PaillierSecretKey { lambda, mu, public: public.clone() };
+            return PaillierKeyPair { public, secret };
+        }
+    }
+}
+
+impl PaillierPublicKey {
+    /// Encrypts a plaintext `m ∈ F_n` with fresh randomness.
+    pub fn encrypt<R: Rng + ?Sized>(&self, rng: &mut R, m: &BigUint) -> Ciphertext {
+        let m = m.rem(&self.n);
+        let r = self.sample_unit(rng);
+        self.encrypt_with_randomness(&m, &r)
+    }
+
+    /// Encrypts with explicit randomness `r` (must be a unit mod `n`); used in tests.
+    pub fn encrypt_with_randomness(&self, m: &BigUint, r: &BigUint) -> Ciphertext {
+        // (1 + m*n) mod n^2
+        let gm = BigUint::one().add(&m.mul(&self.n)).rem(&self.n_squared);
+        let rn = mod_pow(r, &self.n, &self.n_squared);
+        Ciphertext(mod_mul(&gm, &rn, &self.n_squared))
+    }
+
+    /// The encryption of zero with randomness one (useful as an additive identity).
+    pub fn trivial_zero(&self) -> Ciphertext {
+        Ciphertext(BigUint::one())
+    }
+
+    /// Homomorphic addition of two ciphertexts: `Dec(add(a, b)) = Dec(a) + Dec(b) mod n`.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        Ciphertext(mod_mul(&a.0, &b.0, &self.n_squared))
+    }
+
+    /// Homomorphic addition of a plaintext constant: `Dec(add_plain(a, k)) = Dec(a) + k`.
+    pub fn add_plain(&self, a: &Ciphertext, k: &BigUint) -> Ciphertext {
+        let k = k.rem(&self.n);
+        let gk = BigUint::one().add(&k.mul(&self.n)).rem(&self.n_squared);
+        Ciphertext(mod_mul(&a.0, &gk, &self.n_squared))
+    }
+
+    /// Homomorphic scalar multiplication: `Dec(scalar_mul(a, k)) = k · Dec(a) mod n`.
+    pub fn scalar_mul(&self, a: &Ciphertext, k: &BigUint) -> Ciphertext {
+        Ciphertext(mod_pow(&a.0, &k.rem(&self.n), &self.n_squared))
+    }
+
+    /// Sums an iterator of ciphertexts homomorphically.
+    pub fn sum<'a, I: IntoIterator<Item = &'a Ciphertext>>(&self, items: I) -> Ciphertext {
+        let mut acc = self.trivial_zero();
+        for c in items {
+            acc = self.add(&acc, c);
+        }
+        acc
+    }
+
+    /// Samples a uniformly random unit modulo `n`.
+    fn sample_unit<R: Rng + ?Sized>(&self, rng: &mut R) -> BigUint {
+        loop {
+            let r = BigUint::random_below(rng, &self.n);
+            if r.is_zero() {
+                continue;
+            }
+            if uldp_bigint::gcd(&r, &self.n).is_one() {
+                return r;
+            }
+        }
+    }
+
+    /// Bit length of the modulus (the "security parameter" reported by benches).
+    pub fn modulus_bits(&self) -> usize {
+        self.n.bit_length()
+    }
+}
+
+impl PaillierSecretKey {
+    /// Decrypts a ciphertext back to `F_n`.
+    pub fn decrypt(&self, c: &Ciphertext) -> BigUint {
+        let pk = &self.public;
+        let x = mod_pow(&c.0, &self.lambda, &pk.n_squared);
+        let l = self.l_function(&x);
+        mod_mul(&l, &self.mu, &pk.n)
+    }
+
+    /// The matching public key.
+    pub fn public_key(&self) -> &PaillierPublicKey {
+        &self.public
+    }
+
+    /// `L(x) = (x − 1) / n` (exact division for valid ciphertexts).
+    fn l_function(&self, x: &BigUint) -> BigUint {
+        x.sub(&BigUint::one()).div(&self.public.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair(bits: usize, seed: u64) -> PaillierKeyPair {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PaillierKeyPair::generate(&mut rng, bits)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let kp = keypair(256, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for v in [0u64, 1, 42, 1_000_000, u64::MAX] {
+            let m = BigUint::from_u64(v);
+            let c = kp.public.encrypt(&mut rng, &m);
+            assert_eq!(kp.secret.decrypt(&c), m);
+        }
+    }
+
+    #[test]
+    fn ciphertexts_are_randomised() {
+        let kp = keypair(256, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = BigUint::from_u64(7);
+        let c1 = kp.public.encrypt(&mut rng, &m);
+        let c2 = kp.public.encrypt(&mut rng, &m);
+        assert_ne!(c1, c2);
+        assert_eq!(kp.secret.decrypt(&c1), kp.secret.decrypt(&c2));
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let kp = keypair(256, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = BigUint::from_u64(123);
+        let b = BigUint::from_u64(456);
+        let ca = kp.public.encrypt(&mut rng, &a);
+        let cb = kp.public.encrypt(&mut rng, &b);
+        let sum = kp.public.add(&ca, &cb);
+        assert_eq!(kp.secret.decrypt(&sum), BigUint::from_u64(579));
+    }
+
+    #[test]
+    fn homomorphic_addition_wraps_mod_n() {
+        let kp = keypair(128, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = kp.public.n.clone();
+        let a = n.sub(&BigUint::one());
+        let b = BigUint::from_u64(5);
+        let ca = kp.public.encrypt(&mut rng, &a);
+        let cb = kp.public.encrypt(&mut rng, &b);
+        let sum = kp.public.add(&ca, &cb);
+        assert_eq!(kp.secret.decrypt(&sum), BigUint::from_u64(4));
+    }
+
+    #[test]
+    fn homomorphic_scalar_multiplication() {
+        let kp = keypair(256, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let m = BigUint::from_u64(321);
+        let k = BigUint::from_u64(1000);
+        let c = kp.public.encrypt(&mut rng, &m);
+        let scaled = kp.public.scalar_mul(&c, &k);
+        assert_eq!(kp.secret.decrypt(&scaled), BigUint::from_u64(321_000));
+    }
+
+    #[test]
+    fn homomorphic_plaintext_addition() {
+        let kp = keypair(256, 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let m = BigUint::from_u64(10);
+        let c = kp.public.encrypt(&mut rng, &m);
+        let shifted = kp.public.add_plain(&c, &BigUint::from_u64(90));
+        assert_eq!(kp.secret.decrypt(&shifted), BigUint::from_u64(100));
+    }
+
+    #[test]
+    fn sum_of_many_ciphertexts() {
+        let kp = keypair(256, 13);
+        let mut rng = StdRng::seed_from_u64(14);
+        let values: Vec<u64> = (1..=20).collect();
+        let ciphertexts: Vec<Ciphertext> = values
+            .iter()
+            .map(|&v| kp.public.encrypt(&mut rng, &BigUint::from_u64(v)))
+            .collect();
+        let total = kp.public.sum(ciphertexts.iter());
+        assert_eq!(kp.secret.decrypt(&total), BigUint::from_u64(values.iter().sum()));
+    }
+
+    #[test]
+    fn trivial_zero_decrypts_to_zero() {
+        let kp = keypair(128, 15);
+        assert_eq!(kp.secret.decrypt(&kp.public.trivial_zero()), BigUint::zero());
+    }
+
+    #[test]
+    fn modulus_has_requested_size() {
+        let kp = keypair(256, 16);
+        assert!(kp.public.modulus_bits() >= 255);
+    }
+}

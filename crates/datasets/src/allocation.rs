@@ -1,0 +1,344 @@
+//! User/record/silo allocation schemes (Section 5.1.1 of the paper).
+//!
+//! Two schemes are used for Creditcard and MNIST, where records can be placed freely:
+//!
+//! * **uniform** — every record is assigned to a user uniformly at random and to a silo
+//!   uniformly at random.
+//! * **zipf** — the number of records per user follows a Zipf distribution (exponent
+//!   `user_alpha`, paper value 0.5), and each user's records are spread over silos
+//!   according to a second Zipf distribution (exponent `silo_alpha`, paper value 2.0) with
+//!   a per-user random silo preference order.
+//!
+//! For the FLamby-style benchmarks (HeartDisease, TcgaBrca) the per-silo record counts are
+//! fixed by the benchmark, so only users are allocated:
+//!
+//! * **uniform** — each record's user is drawn uniformly.
+//! * **zipf** — the number of records per user follows a Zipf distribution and 80% of a
+//!   user's records go to one (randomly chosen) primary silo, the rest spread uniformly.
+
+use crate::schema::{SiloId, UserId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The allocation scheme for linking records to users and silos.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Allocation {
+    /// Uniformly random user and silo per record.
+    Uniform,
+    /// Zipf-skewed number of records per user and Zipf-skewed silo choice per user.
+    Zipf {
+        /// Exponent of the records-per-user Zipf distribution (paper: 0.5).
+        user_alpha: f64,
+        /// Exponent of the per-user silo-choice Zipf distribution (paper: 2.0).
+        silo_alpha: f64,
+    },
+}
+
+impl Allocation {
+    /// The paper's default zipf parameters (`α_user = 0.5`, `α_silo = 2.0`).
+    pub fn zipf_default() -> Self {
+        Allocation::Zipf { user_alpha: 0.5, silo_alpha: 2.0 }
+    }
+
+    /// Short label used in benchmark output ("uniform" / "zipf").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Allocation::Uniform => "uniform",
+            Allocation::Zipf { .. } => "zipf",
+        }
+    }
+}
+
+/// The placement of every record: `placements[i] = (user, silo)` for record `i`.
+#[derive(Clone, Debug, Default)]
+pub struct RecordPlacement {
+    /// Per-record `(user, silo)` assignment.
+    pub placements: Vec<(UserId, SiloId)>,
+}
+
+/// Zipf weights `k^{-alpha}` for ranks `1..=n`, normalised to sum to one.
+fn zipf_weights(n: usize, alpha: f64) -> Vec<f64> {
+    let raw: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-alpha)).collect();
+    let total: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / total).collect()
+}
+
+/// Samples an index in `0..weights.len()` proportionally to `weights`.
+fn sample_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let mut u: f64 = rng.gen();
+    for (i, w) in weights.iter().enumerate() {
+        if u < *w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+/// Allocates `num_records` records to users and silos with free silo placement
+/// (the Creditcard / MNIST variant).
+pub fn allocate_free<R: Rng + ?Sized>(
+    rng: &mut R,
+    num_records: usize,
+    num_users: usize,
+    num_silos: usize,
+    scheme: Allocation,
+) -> RecordPlacement {
+    assert!(num_users >= 1 && num_silos >= 1);
+    let mut placements = Vec::with_capacity(num_records);
+    match scheme {
+        Allocation::Uniform => {
+            for _ in 0..num_records {
+                let user = rng.gen_range(0..num_users);
+                let silo = rng.gen_range(0..num_silos);
+                placements.push((user, silo));
+            }
+        }
+        Allocation::Zipf { user_alpha, silo_alpha } => {
+            // Per-user weight over a randomly permuted rank order so that skew is not
+            // correlated with the user id.
+            let user_weights = zipf_weights(num_users, user_alpha);
+            let mut user_rank: Vec<usize> = (0..num_users).collect();
+            user_rank.shuffle(rng);
+            // Per-user random silo preference order.
+            let silo_weights = zipf_weights(num_silos, silo_alpha);
+            let silo_prefs: Vec<Vec<SiloId>> = (0..num_users)
+                .map(|_| {
+                    let mut order: Vec<SiloId> = (0..num_silos).collect();
+                    order.shuffle(rng);
+                    order
+                })
+                .collect();
+            for _ in 0..num_records {
+                let rank = sample_index(rng, &user_weights);
+                let user = user_rank[rank];
+                let silo_rank = sample_index(rng, &silo_weights);
+                let silo = silo_prefs[user][silo_rank];
+                placements.push((user, silo));
+            }
+        }
+    }
+    RecordPlacement { placements }
+}
+
+/// Allocates users to records whose silo placement is fixed by the benchmark
+/// (the HeartDisease / TcgaBrca variant). `silo_sizes[s]` is the number of records silo
+/// `s` holds; the result lists, for each silo, the user of each of its records.
+pub fn allocate_fixed_silos<R: Rng + ?Sized>(
+    rng: &mut R,
+    silo_sizes: &[usize],
+    num_users: usize,
+    scheme: Allocation,
+) -> Vec<Vec<UserId>> {
+    assert!(num_users >= 1 && !silo_sizes.is_empty());
+    let num_silos = silo_sizes.len();
+    match scheme {
+        Allocation::Uniform => silo_sizes
+            .iter()
+            .map(|&n| (0..n).map(|_| rng.gen_range(0..num_users)).collect())
+            .collect(),
+        Allocation::Zipf { user_alpha, .. } => {
+            // Draw a user for each record with zipf-skewed user frequencies, but route 80%
+            // of each user's records to a per-user primary silo.
+            let user_weights = zipf_weights(num_users, user_alpha);
+            let mut user_rank: Vec<usize> = (0..num_users).collect();
+            user_rank.shuffle(rng);
+            let primary_silo: Vec<SiloId> =
+                (0..num_users).map(|_| rng.gen_range(0..num_silos)).collect();
+            // Remaining slots per silo.
+            let mut remaining: Vec<usize> = silo_sizes.to_vec();
+            let mut out: Vec<Vec<UserId>> = silo_sizes.iter().map(|&n| Vec::with_capacity(n)).collect();
+            let total: usize = silo_sizes.iter().sum();
+            for _ in 0..total {
+                let rank = sample_index(rng, &user_weights);
+                let user = user_rank[rank];
+                let preferred = primary_silo[user];
+                // 80% preference for the primary silo when it still has room.
+                let silo = if remaining[preferred] > 0 && rng.gen_bool(0.8) {
+                    preferred
+                } else {
+                    // uniformly among silos with remaining capacity
+                    let open: Vec<SiloId> =
+                        (0..num_silos).filter(|&s| remaining[s] > 0).collect();
+                    open[rng.gen_range(0..open.len())]
+                };
+                remaining[silo] -= 1;
+                out[silo].push(user);
+            }
+            out
+        }
+    }
+}
+
+/// Ensures every `(silo, user)` pair that appears has at least `min_count` records by
+/// re-assigning surplus records of over-represented pairs, and every user appears at
+/// least once. Used by the TcgaBrca preset, whose Cox loss needs ≥ 2 records per
+/// per-user batch (paper §5.1.1).
+pub fn enforce_min_records_per_pair(
+    placements: &mut [(UserId, SiloId)],
+    num_users: usize,
+    min_count: usize,
+) {
+    if placements.is_empty() {
+        return;
+    }
+    // Count per (user, silo).
+    use std::collections::HashMap;
+    let mut counts: HashMap<(UserId, SiloId), usize> = HashMap::new();
+    for &(u, s) in placements.iter() {
+        *counts.entry((u, s)).or_default() += 1;
+    }
+    // Repeatedly move records from the most populous pair to deficient pairs.
+    loop {
+        let deficient: Vec<(UserId, SiloId)> = counts
+            .iter()
+            .filter(|&(_, &c)| c < min_count)
+            .map(|(&k, _)| k)
+            .collect();
+        // Users entirely absent are acceptable (they simply do not participate).
+        if deficient.is_empty() {
+            break;
+        }
+        let mut progressed = false;
+        for pair in deficient {
+            // find a donor pair with more than min_count records
+            let donor = counts
+                .iter()
+                .filter(|&(&k, &c)| k != pair && c > min_count)
+                .max_by_key(|&(_, &c)| c)
+                .map(|(&k, _)| k);
+            let Some(donor) = donor else { continue };
+            // move one record from donor to pair
+            if let Some(slot) = placements
+                .iter_mut()
+                .find(|p| **p == (donor.0, donor.1)) {
+                *slot = pair;
+                *counts.get_mut(&donor).unwrap() -= 1;
+                *counts.entry(pair).or_default() += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    let _ = num_users;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_free_allocation_covers_all_silos() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = allocate_free(&mut rng, 10_000, 100, 5, Allocation::Uniform);
+        assert_eq!(p.placements.len(), 10_000);
+        let mut silo_counts = vec![0usize; 5];
+        for &(u, s) in &p.placements {
+            assert!(u < 100 && s < 5);
+            silo_counts[s] += 1;
+        }
+        // Roughly balanced silos under the uniform scheme.
+        for &c in &silo_counts {
+            assert!(c > 1500 && c < 2500, "silo count {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_free_allocation_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = allocate_free(&mut rng, 20_000, 100, 5, Allocation::zipf_default());
+        let mut user_counts = vec![0usize; 100];
+        for &(u, _) in &p.placements {
+            user_counts[u] += 1;
+        }
+        user_counts.sort_unstable_by(|a, b| b.cmp(a));
+        // The most active user holds many times more records than the median user.
+        assert!(user_counts[0] as f64 > 3.0 * user_counts[50] as f64);
+    }
+
+    #[test]
+    fn zipf_concentrates_each_user_on_few_silos() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = allocate_free(&mut rng, 20_000, 50, 5, Allocation::zipf_default());
+        // With silo_alpha = 2.0 the top silo of each user should hold the majority of
+        // that user's records (on average).
+        let mut per_user: Vec<Vec<usize>> = vec![vec![0; 5]; 50];
+        for &(u, s) in &p.placements {
+            per_user[u][s] += 1;
+        }
+        let mut top_share = 0.0;
+        let mut counted = 0;
+        for counts in per_user {
+            let total: usize = counts.iter().sum();
+            if total == 0 {
+                continue;
+            }
+            top_share += *counts.iter().max().unwrap() as f64 / total as f64;
+            counted += 1;
+        }
+        assert!(top_share / counted as f64 > 0.55);
+    }
+
+    #[test]
+    fn fixed_silo_allocation_respects_sizes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sizes = vec![300, 260, 50, 130];
+        for scheme in [Allocation::Uniform, Allocation::zipf_default()] {
+            let out = allocate_fixed_silos(&mut rng, &sizes, 50, scheme);
+            assert_eq!(out.len(), 4);
+            for (s, users) in out.iter().enumerate() {
+                assert_eq!(users.len(), sizes[s]);
+                assert!(users.iter().all(|&u| u < 50));
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_silo_zipf_concentrates_users() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let sizes = vec![300, 300, 300, 300];
+        let out = allocate_fixed_silos(&mut rng, &sizes, 30, Allocation::zipf_default());
+        // For each user, the share in their biggest silo should be large on average (80%).
+        let mut per_user = vec![vec![0usize; 4]; 30];
+        for (s, users) in out.iter().enumerate() {
+            for &u in users {
+                per_user[u][s] += 1;
+            }
+        }
+        let mut top_share = 0.0;
+        let mut counted = 0;
+        for counts in per_user {
+            let total: usize = counts.iter().sum();
+            if total < 5 {
+                continue;
+            }
+            top_share += *counts.iter().max().unwrap() as f64 / total as f64;
+            counted += 1;
+        }
+        assert!(top_share / counted as f64 > 0.5);
+    }
+
+    #[test]
+    fn min_records_enforcement() {
+        let mut placements = vec![(0, 0), (0, 0), (0, 0), (0, 0), (1, 1)];
+        enforce_min_records_per_pair(&mut placements, 2, 2);
+        let mut counts = std::collections::HashMap::new();
+        for &p in &placements {
+            *counts.entry(p).or_insert(0usize) += 1;
+        }
+        for (_, c) in counts {
+            assert!(c >= 2);
+        }
+    }
+
+    #[test]
+    fn allocation_labels() {
+        assert_eq!(Allocation::Uniform.label(), "uniform");
+        assert_eq!(Allocation::zipf_default().label(), "zipf");
+    }
+}

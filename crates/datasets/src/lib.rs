@@ -1,0 +1,31 @@
+//! # uldp-datasets
+//!
+//! Synthetic federated datasets and the user/record/silo allocation schemes used by the
+//! Uldp-FL evaluation.
+//!
+//! The paper evaluates on four real datasets (Kaggle Creditcard, MNIST, and the FLamby
+//! benchmarks HeartDisease and TcgaBrca). Those datasets cannot be redistributed with this
+//! repository, so this crate generates synthetic datasets with the **same structural
+//! properties**: feature dimensionality, number of classes, class imbalance, number of
+//! silos, number of records, and — crucially for Uldp-FL — the same **user/record/silo
+//! allocation process** (`uniform` and `zipf` of Section 5.1.1). The algorithms and the
+//! privacy accounting only interact with that structure, so the qualitative shapes of the
+//! paper's figures are preserved.
+//!
+//! * [`schema`] — [`FederatedDataset`](schema::FederatedDataset): train records tagged
+//!   with `(user, silo)`, a held-out test set, and histogram helpers (`n_{s,u}`, `N_u`).
+//! * [`allocation`] — the `uniform` and `zipf` allocation schemes, in both the
+//!   "free silo assignment" variant (Creditcard, MNIST) and the "fixed silo sizes"
+//!   variant (HeartDisease, TcgaBrca).
+//! * [`creditcard`], [`mnist_like`], [`heart_disease`], [`tcga_brca`] — the four dataset
+//!   generators.
+
+pub mod allocation;
+pub mod creditcard;
+pub mod heart_disease;
+pub mod mnist_like;
+pub mod schema;
+pub mod tcga_brca;
+
+pub use allocation::{Allocation, RecordPlacement};
+pub use schema::{FederatedDataset, FederatedRecord, SiloId, UserId};

@@ -1,0 +1,191 @@
+//! The federated dataset schema: records tagged with the user and silo they belong to.
+
+use serde::{Deserialize, Serialize};
+use uldp_ml::Sample;
+
+/// Identifier of a user (shared across silos after record linkage, paper §3.1).
+pub type UserId = usize;
+
+/// Identifier of a silo.
+pub type SiloId = usize;
+
+/// One training record together with its owner and hosting silo.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FederatedRecord {
+    /// The record content.
+    pub sample: Sample,
+    /// The user this record belongs to.
+    pub user: UserId,
+    /// The silo holding this record.
+    pub silo: SiloId,
+}
+
+/// A cross-silo federated dataset: training records spread over silos and users, plus a
+/// centralized held-out test set used only for evaluation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FederatedDataset {
+    /// Number of silos `|S|`.
+    pub num_silos: usize,
+    /// Number of users `|U|`.
+    pub num_users: usize,
+    /// Training records.
+    pub records: Vec<FederatedRecord>,
+    /// Held-out evaluation records.
+    pub test: Vec<Sample>,
+    /// Human-readable dataset name (used in logs and benchmark output).
+    pub name: String,
+}
+
+impl FederatedDataset {
+    /// Creates a dataset, verifying that every record points to a valid user and silo.
+    pub fn new(
+        name: impl Into<String>,
+        num_silos: usize,
+        num_users: usize,
+        records: Vec<FederatedRecord>,
+        test: Vec<Sample>,
+    ) -> Self {
+        assert!(num_silos >= 1 && num_users >= 1);
+        for r in &records {
+            assert!(r.silo < num_silos, "record references silo {} >= {num_silos}", r.silo);
+            assert!(r.user < num_users, "record references user {} >= {num_users}", r.user);
+        }
+        FederatedDataset { num_silos, num_users, records, test, name: name.into() }
+    }
+
+    /// Number of training records.
+    pub fn num_records(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Average number of records per user (the `n` reported in the figures' captions).
+    pub fn avg_records_per_user(&self) -> f64 {
+        self.records.len() as f64 / self.num_users as f64
+    }
+
+    /// All records held by silo `s`.
+    pub fn silo_records(&self, silo: SiloId) -> Vec<&FederatedRecord> {
+        self.records.iter().filter(|r| r.silo == silo).collect()
+    }
+
+    /// All of user `u`'s records held by silo `s` (the per-user dataset `D_{s,u}`).
+    pub fn silo_user_records(&self, silo: SiloId, user: UserId) -> Vec<&Sample> {
+        self.records
+            .iter()
+            .filter(|r| r.silo == silo && r.user == user)
+            .map(|r| &r.sample)
+            .collect()
+    }
+
+    /// The per-silo, per-user record-count histogram `n_{s,u}`, indexed `[silo][user]`.
+    pub fn histogram(&self) -> Vec<Vec<usize>> {
+        let mut h = vec![vec![0usize; self.num_users]; self.num_silos];
+        for r in &self.records {
+            h[r.silo][r.user] += 1;
+        }
+        h
+    }
+
+    /// Total records per user across all silos (`N_u = Σ_s n_{s,u}`).
+    pub fn user_totals(&self) -> Vec<usize> {
+        let mut totals = vec![0usize; self.num_users];
+        for r in &self.records {
+            totals[r.user] += 1;
+        }
+        totals
+    }
+
+    /// The maximum number of records any single user holds across all silos.
+    pub fn max_records_per_user(&self) -> usize {
+        self.user_totals().into_iter().max().unwrap_or(0)
+    }
+
+    /// The median number of records per user across all silos (users with zero records
+    /// included). Used by the ULDP-GROUP-median baseline.
+    pub fn median_records_per_user(&self) -> usize {
+        let mut totals = self.user_totals();
+        totals.sort_unstable();
+        if totals.is_empty() {
+            0
+        } else {
+            totals[totals.len() / 2]
+        }
+    }
+
+    /// Users that have at least one record in silo `s`.
+    pub fn users_in_silo(&self, silo: SiloId) -> Vec<UserId> {
+        let mut present = vec![false; self.num_users];
+        for r in &self.records {
+            if r.silo == silo {
+                present[r.user] = true;
+            }
+        }
+        present
+            .into_iter()
+            .enumerate()
+            .filter_map(|(u, p)| if p { Some(u) } else { None })
+            .collect()
+    }
+
+    /// Feature dimensionality (taken from the first record; panics on an empty dataset).
+    pub fn feature_dim(&self) -> usize {
+        self.records
+            .first()
+            .map(|r| r.sample.dim())
+            .or_else(|| self.test.first().map(|s| s.dim()))
+            .expect("dataset has no records")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uldp_ml::Sample;
+
+    fn tiny() -> FederatedDataset {
+        let records = vec![
+            FederatedRecord { sample: Sample::classification(vec![1.0], 0), user: 0, silo: 0 },
+            FederatedRecord { sample: Sample::classification(vec![2.0], 1), user: 0, silo: 1 },
+            FederatedRecord { sample: Sample::classification(vec![3.0], 0), user: 1, silo: 1 },
+            FederatedRecord { sample: Sample::classification(vec![4.0], 1), user: 1, silo: 1 },
+            FederatedRecord { sample: Sample::classification(vec![5.0], 0), user: 2, silo: 0 },
+        ];
+        FederatedDataset::new("tiny", 2, 3, records, vec![Sample::classification(vec![0.0], 0)])
+    }
+
+    #[test]
+    fn histogram_and_totals() {
+        let d = tiny();
+        let h = d.histogram();
+        assert_eq!(h[0], vec![1, 0, 1]);
+        assert_eq!(h[1], vec![1, 2, 0]);
+        assert_eq!(d.user_totals(), vec![2, 2, 1]);
+        assert_eq!(d.max_records_per_user(), 2);
+        assert_eq!(d.median_records_per_user(), 2);
+        assert_eq!(d.num_records(), 5);
+        assert!((d.avg_records_per_user() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn silo_queries() {
+        let d = tiny();
+        assert_eq!(d.silo_records(0).len(), 2);
+        assert_eq!(d.silo_records(1).len(), 3);
+        assert_eq!(d.silo_user_records(1, 1).len(), 2);
+        assert_eq!(d.silo_user_records(0, 1).len(), 0);
+        assert_eq!(d.users_in_silo(0), vec![0, 2]);
+        assert_eq!(d.users_in_silo(1), vec![0, 1]);
+        assert_eq!(d.feature_dim(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "references silo")]
+    fn rejects_out_of_range_silo() {
+        let records = vec![FederatedRecord {
+            sample: Sample::classification(vec![1.0], 0),
+            user: 0,
+            silo: 5,
+        }];
+        FederatedDataset::new("bad", 2, 1, records, vec![]);
+    }
+}

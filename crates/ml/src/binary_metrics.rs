@@ -1,0 +1,192 @@
+//! Additional binary-classification metrics for imbalanced tasks.
+//!
+//! The Creditcard task is heavily imbalanced, so plain accuracy can look good even for a
+//! trivial majority-class predictor. These metrics (precision, recall, F1 and ROC-AUC on
+//! the positive class) make the utility comparison between methods more informative; the
+//! figure binaries report them alongside accuracy.
+
+use crate::model::Model;
+use crate::sample::{Sample, Target};
+use crate::tensor::softmax;
+
+/// Confusion-matrix counts for the positive class of a binary task.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConfusionCounts {
+    /// Correctly predicted positives.
+    pub true_positives: usize,
+    /// Negatives predicted as positive.
+    pub false_positives: usize,
+    /// Correctly predicted negatives.
+    pub true_negatives: usize,
+    /// Positives predicted as negative.
+    pub false_negatives: usize,
+}
+
+impl ConfusionCounts {
+    /// Precision of the positive class (`tp / (tp + fp)`, 0 when undefined).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall of the positive class (`tp / (tp + fn)`, 0 when undefined).
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall, 0 when undefined).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Computes the confusion counts of a binary classifier (class 1 is "positive").
+pub fn confusion_counts(model: &dyn Model, samples: &[Sample]) -> ConfusionCounts {
+    let mut counts = ConfusionCounts::default();
+    for s in samples {
+        let Target::Class(label) = s.target else { continue };
+        let scores = model.scores(&s.features);
+        let pred = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        match (label, pred) {
+            (1, 1) => counts.true_positives += 1,
+            (0, 1) => counts.false_positives += 1,
+            (0, 0) => counts.true_negatives += 1,
+            (1, 0) => counts.false_negatives += 1,
+            _ => {} // metrics are defined for binary labels only
+        }
+    }
+    counts
+}
+
+/// The probability assigned to the positive class (softmax of a two-class score vector,
+/// or the raw score for single-output models).
+fn positive_probability(model: &dyn Model, features: &[f64]) -> f64 {
+    let scores = model.scores(features);
+    if scores.len() >= 2 {
+        softmax(&scores)[1]
+    } else {
+        scores[0]
+    }
+}
+
+/// Area under the ROC curve for the positive class, computed by the rank-sum
+/// (Mann–Whitney U) formulation; ties count half. Returns 0.5 when one class is absent.
+pub fn roc_auc(model: &dyn Model, samples: &[Sample]) -> f64 {
+    let mut positives = Vec::new();
+    let mut negatives = Vec::new();
+    for s in samples {
+        if let Target::Class(label) = s.target {
+            let score = positive_probability(model, &s.features);
+            if label == 1 {
+                positives.push(score);
+            } else if label == 0 {
+                negatives.push(score);
+            }
+        }
+    }
+    if positives.is_empty() || negatives.is_empty() {
+        return 0.5;
+    }
+    let mut favourable = 0.0f64;
+    for &p in &positives {
+        for &n in &negatives {
+            if p > n {
+                favourable += 1.0;
+            } else if (p - n).abs() < 1e-15 {
+                favourable += 0.5;
+            }
+        }
+    }
+    favourable / (positives.len() as f64 * negatives.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearClassifier;
+    use crate::model::Model;
+
+    fn positive_scorer() -> LinearClassifier {
+        // class-1 logit grows with the single feature
+        let mut m = LinearClassifier::new(1, 2);
+        m.set_parameters(&[-1.0, 1.0, 0.0, 0.0]);
+        m
+    }
+
+    #[test]
+    fn confusion_counts_and_derived_metrics() {
+        let m = positive_scorer();
+        let samples = vec![
+            Sample::classification(vec![2.0], 1),  // tp
+            Sample::classification(vec![1.5], 1),  // tp
+            Sample::classification(vec![-1.0], 1), // fn
+            Sample::classification(vec![-2.0], 0), // tn
+            Sample::classification(vec![3.0], 0),  // fp
+        ];
+        let c = confusion_counts(&m, &samples);
+        assert_eq!(
+            c,
+            ConfusionCounts {
+                true_positives: 2,
+                false_positives: 1,
+                true_negatives: 1,
+                false_negatives: 1
+            }
+        );
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counts_have_zero_scores() {
+        let c = ConfusionCounts::default();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_reversed() {
+        let m = positive_scorer();
+        let good = vec![
+            Sample::classification(vec![2.0], 1),
+            Sample::classification(vec![1.0], 1),
+            Sample::classification(vec![-1.0], 0),
+            Sample::classification(vec![-2.0], 0),
+        ];
+        assert!((roc_auc(&m, &good) - 1.0).abs() < 1e-12);
+        let reversed = vec![
+            Sample::classification(vec![-2.0], 1),
+            Sample::classification(vec![2.0], 0),
+        ];
+        assert!(roc_auc(&m, &reversed) < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        let m = positive_scorer();
+        let samples = vec![Sample::classification(vec![1.0], 1)];
+        assert_eq!(roc_auc(&m, &samples), 0.5);
+    }
+}

@@ -1,0 +1,92 @@
+//! L2-norm clipping of gradients and model deltas.
+//!
+//! Clipping is the sensitivity-bounding primitive behind every algorithm in the paper:
+//! DP-SGD clips per-record gradients, ULDP-NAIVE clips the per-silo model delta, and
+//! ULDP-AVG clips the per-(user, silo) model delta before applying the clipping weight
+//! `w_{s,u}` (Algorithm 3, line 16).
+
+/// Euclidean (L2) norm of a vector.
+pub fn l2_norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Scales `v` in place so that its L2 norm is at most `clip_bound`:
+/// `v ← v · min(1, C / ‖v‖₂)`.
+///
+/// Vectors already inside the ball are left untouched; the zero vector stays zero.
+pub fn clip_to_norm(v: &mut [f64], clip_bound: f64) {
+    assert!(clip_bound > 0.0, "clipping bound must be positive");
+    let norm = l2_norm(v);
+    if norm > clip_bound {
+        let scale = clip_bound / norm;
+        for x in v.iter_mut() {
+            *x *= scale;
+        }
+    }
+}
+
+/// Returns a clipped copy of `v` (see [`clip_to_norm`]).
+pub fn clipped(v: &[f64], clip_bound: f64) -> Vec<f64> {
+    let mut out = v.to_vec();
+    clip_to_norm(&mut out, clip_bound);
+    out
+}
+
+/// The clipping factor `min(1, C / ‖v‖₂)` without modifying the vector.
+pub fn clip_factor(v: &[f64], clip_bound: f64) -> f64 {
+    assert!(clip_bound > 0.0, "clipping bound must be positive");
+    let norm = l2_norm(v);
+    if norm > clip_bound {
+        clip_bound / norm
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_basic() {
+        assert_eq!(l2_norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(l2_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn clipping_preserves_direction() {
+        let v = vec![3.0, 4.0];
+        let c = clipped(&v, 1.0);
+        assert!((l2_norm(&c) - 1.0).abs() < 1e-12);
+        // direction preserved: c is parallel to v
+        assert!((c[0] * v[1] - c[1] * v[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vectors_inside_ball_unchanged() {
+        let v = vec![0.1, 0.2];
+        assert_eq!(clipped(&v, 1.0), v);
+        assert_eq!(clip_factor(&v, 1.0), 1.0);
+    }
+
+    #[test]
+    fn zero_vector_stays_zero() {
+        let v = vec![0.0; 5];
+        assert_eq!(clipped(&v, 0.5), v);
+    }
+
+    #[test]
+    fn clip_factor_matches_clip() {
+        let v = vec![6.0, 8.0];
+        let f = clip_factor(&v, 5.0);
+        assert!((f - 0.5).abs() < 1e-12);
+        let c = clipped(&v, 5.0);
+        assert!((c[0] - 3.0).abs() < 1e-12 && (c[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "clipping bound must be positive")]
+    fn rejects_non_positive_bound() {
+        clipped(&[1.0], 0.0);
+    }
+}

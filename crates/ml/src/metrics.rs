@@ -1,0 +1,161 @@
+//! Evaluation metrics: accuracy, average loss, and concordance index.
+//!
+//! These are the utility metrics plotted in Figures 4–7 of the paper: test accuracy for
+//! Creditcard / MNIST / HeartDisease, test loss for MNIST and the weighting-strategy
+//! comparison (Figure 8), and the C-index for TcgaBrca.
+
+use crate::model::Model;
+use crate::sample::{Sample, Target};
+
+/// Classification accuracy of `model` on `samples` (fraction of correct argmax labels).
+///
+/// Returns 0 for an empty evaluation set.
+pub fn accuracy(model: &dyn Model, samples: &[Sample]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for s in samples {
+        if let Target::Class(label) = s.target {
+            let scores = model.scores(&s.features);
+            let pred = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            if pred == label {
+                correct += 1;
+            }
+            total += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+/// Average loss of `model` on `samples` (batched to keep the Cox risk sets meaningful).
+pub fn average_loss(model: &dyn Model, samples: &[Sample]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let batch: Vec<&Sample> = samples.iter().collect();
+    model.loss(&batch)
+}
+
+/// Harrell's concordance index for survival models.
+///
+/// The C-index is the fraction of comparable pairs `(i, j)` (where `i` experienced the
+/// event and `t_i < t_j`) for which the model assigns a higher risk score to `i`. Ties in
+/// the risk score count as half. Returns 0.5 when no pair is comparable.
+pub fn concordance_index(model: &dyn Model, samples: &[Sample]) -> f64 {
+    let mut records: Vec<(f64, bool, f64)> = Vec::new(); // (time, event, risk)
+    for s in samples {
+        if let Target::Survival { time, event } = s.target {
+            let risk = model.scores(&s.features)[0];
+            records.push((time, event, risk));
+        }
+    }
+    let mut concordant = 0.0f64;
+    let mut comparable = 0.0f64;
+    for i in 0..records.len() {
+        let (ti, ei, ri) = records[i];
+        if !ei {
+            continue;
+        }
+        for (j, &(tj, _ej, rj)) in records.iter().enumerate() {
+            if i == j || tj <= ti {
+                continue;
+            }
+            comparable += 1.0;
+            if ri > rj {
+                concordant += 1.0;
+            } else if (ri - rj).abs() < 1e-12 {
+                concordant += 0.5;
+            }
+        }
+    }
+    if comparable == 0.0 {
+        0.5
+    } else {
+        concordant / comparable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cox::CoxRegression;
+    use crate::linear::LinearClassifier;
+    use crate::model::Model;
+
+    #[test]
+    fn accuracy_on_perfectly_separable_model() {
+        let mut m = LinearClassifier::new(1, 2);
+        // weight matrix [[-1], [1]], bias [0, 0]: positive features -> class 1
+        m.set_parameters(&[-1.0, 1.0, 0.0, 0.0]);
+        let samples = vec![
+            Sample::classification(vec![2.0], 1),
+            Sample::classification(vec![-2.0], 0),
+            Sample::classification(vec![3.0], 0), // wrong on purpose
+        ];
+        let acc = accuracy(&m, &samples);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_empty_is_zero() {
+        let m = LinearClassifier::new(1, 2);
+        assert_eq!(accuracy(&m, &[]), 0.0);
+    }
+
+    #[test]
+    fn average_loss_at_uniform_prediction() {
+        let m = LinearClassifier::new(2, 4);
+        let samples = vec![Sample::classification(vec![1.0, 1.0], 2)];
+        assert!((average_loss(&m, &samples) - (4.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concordance_index_perfect_and_reversed() {
+        let mut m = CoxRegression::new(1);
+        m.set_parameters(&[1.0]); // risk increases with feature
+        // higher feature -> higher risk -> should die earlier
+        let good = vec![
+            Sample::survival(vec![2.0], 1.0, true),
+            Sample::survival(vec![1.0], 2.0, true),
+            Sample::survival(vec![0.0], 3.0, true),
+        ];
+        assert!((concordance_index(&m, &good) - 1.0).abs() < 1e-12);
+        // reversed ordering gives 0
+        let bad = vec![
+            Sample::survival(vec![0.0], 1.0, true),
+            Sample::survival(vec![1.0], 2.0, true),
+            Sample::survival(vec![2.0], 3.0, true),
+        ];
+        assert!(concordance_index(&m, &bad) < 1e-12);
+    }
+
+    #[test]
+    fn concordance_index_handles_censoring() {
+        let mut m = CoxRegression::new(1);
+        m.set_parameters(&[1.0]);
+        // censored records never start a comparable pair
+        let samples = vec![
+            Sample::survival(vec![2.0], 1.0, false),
+            Sample::survival(vec![1.0], 2.0, true),
+        ];
+        // only pair starting from the event at t=2 with no later record -> no comparable pairs
+        assert_eq!(concordance_index(&m, &samples), 0.5);
+    }
+
+    #[test]
+    fn concordance_index_no_survival_records() {
+        let m = CoxRegression::new(1);
+        assert_eq!(concordance_index(&m, &[]), 0.5);
+    }
+}

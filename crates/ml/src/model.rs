@@ -1,0 +1,129 @@
+//! The [`Model`] abstraction: a learner with a flat parameter vector.
+//!
+//! Federated learning exchanges parameter vectors and parameter *deltas* between silos
+//! and the server, and the per-user weighted clipping of ULDP-AVG operates directly on
+//! those flat vectors. Every model therefore exposes its parameters as a single `&[f64]`
+//! and computes the average loss and gradient of a mini-batch with respect to that flat
+//! vector.
+
+use crate::sample::Sample;
+
+/// Identifier of a model architecture, used by dataset presets and the benchmark harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Multinomial logistic regression (linear classifier with softmax).
+    Linear,
+    /// One-hidden-layer perceptron classifier.
+    Mlp,
+    /// Cox proportional-hazards regression.
+    Cox,
+}
+
+/// A trainable model with a flat parameter vector.
+pub trait Model: Send + Sync {
+    /// Read access to the flat parameter vector.
+    fn parameters(&self) -> &[f64];
+
+    /// Mutable access to the flat parameter vector.
+    fn parameters_mut(&mut self) -> &mut [f64];
+
+    /// Number of trainable parameters.
+    fn num_parameters(&self) -> usize {
+        self.parameters().len()
+    }
+
+    /// Replaces the parameters with `params`.
+    ///
+    /// # Panics
+    /// Panics if the length does not match [`Model::num_parameters`].
+    fn set_parameters(&mut self, params: &[f64]) {
+        let dst = self.parameters_mut();
+        assert_eq!(dst.len(), params.len(), "parameter length mismatch");
+        dst.copy_from_slice(params);
+    }
+
+    /// Average loss and gradient (w.r.t. the flat parameters) over a mini-batch.
+    ///
+    /// Returns `(loss, gradient)` where the gradient has length
+    /// [`Model::num_parameters`]. The batch must be non-empty.
+    fn loss_and_gradient(&self, batch: &[&Sample]) -> (f64, Vec<f64>);
+
+    /// Average loss over a mini-batch (no gradient).
+    fn loss(&self, batch: &[&Sample]) -> f64 {
+        self.loss_and_gradient(batch).0
+    }
+
+    /// Raw scores for one feature vector: class logits for classifiers, the scalar risk
+    /// score for survival models.
+    fn scores(&self, features: &[f64]) -> Vec<f64>;
+
+    /// The architecture identifier.
+    fn kind(&self) -> ModelKind;
+
+    /// Clones the model into a boxed trait object (models are small, so this is cheap).
+    fn clone_model(&self) -> Box<dyn Model>;
+}
+
+impl Clone for Box<dyn Model> {
+    fn clone(&self) -> Self {
+        self.clone_model()
+    }
+}
+
+/// Numerically estimates the gradient of `model` at its current parameters by central
+/// finite differences. Only used by tests to validate analytic gradients.
+pub fn finite_difference_gradient(
+    model: &mut dyn Model,
+    batch: &[&Sample],
+    step: f64,
+) -> Vec<f64> {
+    let original = model.parameters().to_vec();
+    let n = original.len();
+    let mut grad = vec![0.0; n];
+    for i in 0..n {
+        let mut plus = original.clone();
+        plus[i] += step;
+        model.set_parameters(&plus);
+        let loss_plus = model.loss(batch);
+
+        let mut minus = original.clone();
+        minus[i] -= step;
+        model.set_parameters(&minus);
+        let loss_minus = model.loss(batch);
+
+        grad[i] = (loss_plus - loss_minus) / (2.0 * step);
+    }
+    model.set_parameters(&original);
+    grad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearClassifier;
+
+    #[test]
+    fn set_parameters_roundtrip() {
+        let mut model = LinearClassifier::new(3, 2);
+        let params: Vec<f64> = (0..model.num_parameters()).map(|i| i as f64 * 0.1).collect();
+        model.set_parameters(&params);
+        assert_eq!(model.parameters(), params.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter length mismatch")]
+    fn set_parameters_rejects_wrong_length() {
+        let mut model = LinearClassifier::new(3, 2);
+        model.set_parameters(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn boxed_clone_preserves_parameters() {
+        let mut model = LinearClassifier::new(2, 2);
+        model.parameters_mut()[0] = 7.5;
+        let boxed: Box<dyn Model> = Box::new(model);
+        let cloned = boxed.clone();
+        assert_eq!(cloned.parameters()[0], 7.5);
+        assert_eq!(cloned.kind(), ModelKind::Linear);
+    }
+}

@@ -1,0 +1,98 @@
+//! SGD with (classical) momentum.
+//!
+//! The paper's algorithms use plain SGD, but its convergence discussion (Remark 2, based
+//! on Yang et al.'s two-sided-learning-rate analysis) also applies to momentum-based local
+//! optimisers. This optimiser is provided for the ablation benchmarks that check whether
+//! the qualitative method ranking is robust to the local optimiser choice.
+
+/// SGD with momentum: `v ← μ·v + g`, `θ ← θ − lr·v`.
+#[derive(Clone, Debug)]
+pub struct MomentumSgd {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient `μ ∈ [0, 1)`.
+    pub momentum: f64,
+    velocity: Vec<f64>,
+}
+
+impl MomentumSgd {
+    /// Creates an optimiser for a parameter vector of length `dim`.
+    pub fn new(learning_rate: f64, momentum: f64, dim: usize) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        MomentumSgd { learning_rate, momentum, velocity: vec![0.0; dim] }
+    }
+
+    /// Applies one update step in place.
+    pub fn step(&mut self, params: &mut [f64], gradient: &[f64]) {
+        assert_eq!(params.len(), self.velocity.len(), "parameter length mismatch");
+        assert_eq!(params.len(), gradient.len(), "gradient length mismatch");
+        for ((v, p), g) in self.velocity.iter_mut().zip(params.iter_mut()).zip(gradient.iter()) {
+            *v = self.momentum * *v + g;
+            *p -= self.learning_rate * *v;
+        }
+    }
+
+    /// Resets the accumulated velocity (used when the global model is replaced between
+    /// federated rounds).
+    pub fn reset(&mut self) {
+        self.velocity.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_momentum_matches_plain_sgd() {
+        let mut opt = MomentumSgd::new(0.1, 0.0, 2);
+        let mut params = vec![1.0, -1.0];
+        opt.step(&mut params, &[10.0, -10.0]);
+        assert_eq!(params, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut opt = MomentumSgd::new(0.1, 0.9, 1);
+        let mut params = vec![0.0];
+        opt.step(&mut params, &[1.0]);
+        let after_first = params[0];
+        opt.step(&mut params, &[1.0]);
+        let second_step = params[0] - after_first;
+        // second step is larger in magnitude because velocity accumulated
+        assert!(second_step.abs() > after_first.abs());
+    }
+
+    #[test]
+    fn converges_on_quadratic_faster_than_without() {
+        let run = |mu: f64| {
+            let mut opt = MomentumSgd::new(0.05, mu, 1);
+            let mut x = vec![10.0];
+            for _ in 0..50 {
+                let g = vec![2.0 * (x[0] - 3.0)];
+                opt.step(&mut x, &g);
+            }
+            (x[0] - 3.0).abs()
+        };
+        assert!(run(0.8) < run(0.0));
+    }
+
+    #[test]
+    fn reset_clears_velocity() {
+        let mut opt = MomentumSgd::new(0.1, 0.9, 1);
+        let mut params = vec![0.0];
+        opt.step(&mut params, &[5.0]);
+        opt.reset();
+        let before = params[0];
+        opt.step(&mut params, &[0.0]);
+        // with zero gradient and zero velocity nothing moves
+        assert_eq!(params[0], before);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum must be in [0, 1)")]
+    fn rejects_invalid_momentum() {
+        let _ = MomentumSgd::new(0.1, 1.0, 1);
+    }
+}

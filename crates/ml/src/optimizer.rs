@@ -1,0 +1,67 @@
+//! Stochastic gradient descent.
+//!
+//! The paper's client subroutines use plain SGD with a local learning rate `η_l`; the
+//! server applies a separate global learning rate `η_g` to the aggregated deltas (the
+//! "two-sided learning rates" of the DEFAULT baseline).
+
+/// Plain SGD: `θ ← θ − lr · g`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sgd {
+    /// Learning rate.
+    pub learning_rate: f64,
+}
+
+impl Sgd {
+    /// Creates an optimiser with the given learning rate.
+    pub fn new(learning_rate: f64) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        Sgd { learning_rate }
+    }
+
+    /// Applies one descent step in place.
+    pub fn step(&self, params: &mut [f64], gradient: &[f64]) {
+        assert_eq!(params.len(), gradient.len(), "gradient length mismatch");
+        for (p, g) in params.iter_mut().zip(gradient.iter()) {
+            *p -= self.learning_rate * g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_moves_against_gradient() {
+        let sgd = Sgd::new(0.1);
+        let mut params = vec![1.0, -2.0];
+        sgd.step(&mut params, &[10.0, -10.0]);
+        assert_eq!(params, vec![0.0, -1.0]);
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        // minimise f(x) = (x - 3)^2, gradient 2(x - 3)
+        let sgd = Sgd::new(0.1);
+        let mut params = vec![0.0];
+        for _ in 0..200 {
+            let grad = vec![2.0 * (params[0] - 3.0)];
+            sgd.step(&mut params, &grad);
+        }
+        assert!((params[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn rejects_non_positive_learning_rate() {
+        let _ = Sgd::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient length mismatch")]
+    fn rejects_mismatched_lengths() {
+        let sgd = Sgd::new(0.1);
+        let mut params = vec![1.0];
+        sgd.step(&mut params, &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,78 @@
+//! The record schema shared between the ML substrate and the federated datasets.
+
+use serde::{Deserialize, Serialize};
+
+/// The supervised target of a record.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Target {
+    /// A class label for classification tasks (Creditcard, MNIST, HeartDisease).
+    Class(usize),
+    /// A survival target for the Cox model (TcgaBrca): observed time and event indicator.
+    Survival {
+        /// Time to event or censoring.
+        time: f64,
+        /// `true` if the event was observed, `false` if the record is censored.
+        event: bool,
+    },
+}
+
+impl Target {
+    /// The class label, if this is a classification target.
+    pub fn class(&self) -> Option<usize> {
+        match self {
+            Target::Class(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The survival pair, if this is a survival target.
+    pub fn survival(&self) -> Option<(f64, bool)> {
+        match self {
+            Target::Survival { time, event } => Some((*time, *event)),
+            _ => None,
+        }
+    }
+}
+
+/// One training or evaluation record.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Dense feature vector.
+    pub features: Vec<f64>,
+    /// Supervised target.
+    pub target: Target,
+}
+
+impl Sample {
+    /// Creates a classification record.
+    pub fn classification(features: Vec<f64>, label: usize) -> Self {
+        Sample { features, target: Target::Class(label) }
+    }
+
+    /// Creates a survival record.
+    pub fn survival(features: Vec<f64>, time: f64, event: bool) -> Self {
+        Sample { features, target: Target::Survival { time, event } }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.features.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let c = Sample::classification(vec![1.0, 2.0], 3);
+        assert_eq!(c.dim(), 2);
+        assert_eq!(c.target.class(), Some(3));
+        assert_eq!(c.target.survival(), None);
+
+        let s = Sample::survival(vec![0.5], 12.0, true);
+        assert_eq!(s.target.survival(), Some((12.0, true)));
+        assert_eq!(s.target.class(), None);
+    }
+}

@@ -1,0 +1,143 @@
+//! Small dense linear-algebra helpers on `f64` slices.
+//!
+//! The models in this workspace are tiny (at most a few tens of thousands of parameters),
+//! so a handful of straightforward slice operations is all that is needed; no external
+//! BLAS, no generic tensor type.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` (the BLAS "axpy" primitive).
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Element-wise in-place scaling `x *= alpha`.
+pub fn scale(x: &mut [f64], alpha: f64) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Element-wise sum of two vectors into a new vector.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x + y).collect()
+}
+
+/// Element-wise difference `a - b` into a new vector.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
+}
+
+/// Matrix–vector product where the matrix is stored row-major as `rows × cols`.
+pub fn matvec(matrix: &[f64], rows: usize, cols: usize, x: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(matrix.len(), rows * cols);
+    debug_assert_eq!(x.len(), cols);
+    let mut out = vec![0.0; rows];
+    for r in 0..rows {
+        out[r] = dot(&matrix[r * cols..(r + 1) * cols], x);
+    }
+    out
+}
+
+/// Transposed matrix–vector product `Mᵀ·x` for a row-major `rows × cols` matrix.
+pub fn matvec_transposed(matrix: &[f64], rows: usize, cols: usize, x: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(matrix.len(), rows * cols);
+    debug_assert_eq!(x.len(), rows);
+    let mut out = vec![0.0; cols];
+    for r in 0..rows {
+        let row = &matrix[r * cols..(r + 1) * cols];
+        axpy(x[r], row, &mut out);
+    }
+    out
+}
+
+/// Numerically stable softmax.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Numerically stable `log(Σ exp(x))`.
+pub fn log_sum_exp(values: &[f64]) -> f64 {
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if max.is_infinite() {
+        return max;
+    }
+    max + values.iter().map(|v| (v - max).exp()).sum::<f64>().ln()
+}
+
+/// Mean of a slice (0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_axpy() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+        assert_eq!(sub(&[3.0, 4.0], &[1.0, 2.0]), vec![2.0, 2.0]);
+        let mut x = vec![1.0, -2.0];
+        scale(&mut x, -3.0);
+        assert_eq!(x, vec![-3.0, 6.0]);
+    }
+
+    #[test]
+    fn matvec_roundtrip() {
+        // M = [[1, 2], [3, 4], [5, 6]] (3x2)
+        let m = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        assert_eq!(matvec(&m, 3, 2, &[1.0, 1.0]), vec![3.0, 7.0, 11.0]);
+        assert_eq!(matvec_transposed(&m, 3, 2, &[1.0, 1.0, 1.0]), vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn softmax_properties() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // stability with huge logits
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_matches_naive() {
+        let v = [0.1f64, 0.5, -2.0];
+        let naive = v.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&v) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

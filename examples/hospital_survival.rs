@@ -1,0 +1,59 @@
+//! Federated survival analysis across six hospitals (the TcgaBrca scenario): a patient may
+//! be treated in several hospitals, so their records span silos. Trains a Cox
+//! proportional-hazards model with ULDP-AVG and the enhanced weighting strategy, and
+//! reports the concordance index versus the accumulated user-level ε.
+//!
+//! ```bash
+//! cargo run --release --example hospital_survival
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uldp_fl::core::{FlConfig, Method, Trainer, WeightingStrategy};
+use uldp_fl::datasets::tcga_brca::{self, TcgaBrcaConfig};
+use uldp_fl::datasets::Allocation;
+use uldp_fl::ml::CoxRegression;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let dataset = tcga_brca::generate(
+        &mut rng,
+        &TcgaBrcaConfig {
+            num_users: 50,
+            allocation: Allocation::zipf_default(),
+            ..Default::default()
+        },
+    );
+    println!(
+        "TcgaBrca federation: {} patients' records over {} hospitals, {} users (zipf)\n",
+        dataset.num_records(),
+        dataset.num_silos,
+        dataset.num_users
+    );
+
+    for weighting in [WeightingStrategy::Uniform, WeightingStrategy::RecordProportional] {
+        let method = Method::UldpAvg { weighting };
+        let mut config = FlConfig::recommended(method, dataset.num_silos);
+        config.rounds = 20;
+        config.local_epochs = 3;
+        config.local_lr = 0.2;
+        config.global_lr = dataset.num_silos as f64 * 10.0;
+        config.clip_bound = 0.5;
+        config.sigma = 5.0;
+        config.eval_every = 5;
+
+        let model = Box::new(CoxRegression::new(dataset.feature_dim()));
+        let history = Trainer::new(config, dataset.clone(), model).run();
+
+        println!("method = {}", history.method);
+        println!("round  C-index  epsilon");
+        for r in &history.rounds {
+            println!("{:>5}  {:>7.4}  {:>7.3}", r.round, r.c_index.unwrap_or(f64::NAN), r.epsilon);
+        }
+        println!();
+    }
+    println!(
+        "The record-proportional weights (ULDP-AVG-w) should reach a higher C-index sooner\n\
+         under the skewed (zipf) allocation, mirroring Figures 7 and 8 of the paper."
+    );
+}
