@@ -99,12 +99,7 @@ impl Accountant {
             }
             AlgorithmPrivacy::NonPrivate => RdpCurve::zero(orders.clone()),
         };
-        Accountant {
-            privacy,
-            per_round,
-            accumulated: RdpCurve::zero(orders),
-            rounds: 0,
-        }
+        Accountant { privacy, per_round, accumulated: RdpCurve::zero(orders), rounds: 0 }
     }
 
     /// Records one completed training round (Lemma 1 composition).

@@ -44,7 +44,7 @@ pub fn epsilon_from_rdp(alpha: f64, rho: f64, delta: f64) -> f64 {
 /// Panics if `k` is not a power of two.
 pub fn group_rdp(curve: &RdpCurve, k: u64) -> RdpCurve {
     assert!(k.is_power_of_two(), "group size must be a power of two (Lemma 6)");
-    let c = k.trailing_zeros() as u32;
+    let c = k.trailing_zeros();
     let factor = 3f64.powi(c as i32);
     let mut orders = Vec::new();
     let mut rho = Vec::new();

@@ -28,7 +28,10 @@ pub mod rdp;
 pub use accountant::{Accountant, AlgorithmPrivacy};
 pub use calibration::{calibrate_sigma, calibrate_sigma_subsampled};
 pub use conversion::{dp_to_group_dp, group_epsilon_via_normal_dp, group_rdp, rdp_to_dp};
-pub use rdp::{compose, default_orders, gaussian_rdp, subsampled_gaussian_rdp, subsampled_gaussian_rdp_upper_bound, RdpCurve};
+pub use rdp::{
+    compose, default_orders, gaussian_rdp, subsampled_gaussian_rdp,
+    subsampled_gaussian_rdp_upper_bound, RdpCurve,
+};
 
 /// The default δ used throughout the paper's experiments.
 pub const DEFAULT_DELTA: f64 = 1e-5;

@@ -45,10 +45,7 @@ impl RdpCurve {
 
     /// Returns a curve scaled by `steps` compositions of the same mechanism.
     pub fn scaled(&self, steps: f64) -> RdpCurve {
-        RdpCurve {
-            orders: self.orders.clone(),
-            rho: self.rho.iter().map(|r| r * steps).collect(),
-        }
+        RdpCurve { orders: self.orders.clone(), rho: self.rho.iter().map(|r| r * steps).collect() }
     }
 
     /// Looks up ρ at an exact order, if present.
@@ -119,10 +116,8 @@ pub fn subsampled_gaussian_rdp(alpha: u64, q: f64, sigma: f64) -> f64 {
     for k in 1..=alpha {
         let kf = k as f64;
         ln_binom += (alpha_f - kf + 1.0).ln() - kf.ln();
-        let term = ln_binom
-            + (alpha_f - kf) * ln_1mq
-            + kf * ln_q
-            + kf * (kf - 1.0) / 2.0 * inv_sigma_sq;
+        let term =
+            ln_binom + (alpha_f - kf) * ln_1mq + kf * ln_q + kf * (kf - 1.0) / 2.0 * inv_sigma_sq;
         log_terms.push(term);
     }
     let log_total = log_sum_exp(&log_terms);

@@ -19,7 +19,8 @@ fn bench_rdp_curve(c: &mut Criterion) {
 }
 
 fn bench_conversions(c: &mut Criterion) {
-    let curve = RdpCurve::from_fn(default_orders(), |a| subsampled_gaussian_rdp(a, 0.01, 5.0) * 1e5);
+    let curve =
+        RdpCurve::from_fn(default_orders(), |a| subsampled_gaussian_rdp(a, 0.01, 5.0) * 1e5);
     let mut group = c.benchmark_group("conversions");
     group.bench_function("rdp_to_dp", |b| b.iter(|| rdp_to_dp(&curve, 1e-5)));
     group.bench_function("group_rdp_k32", |b| b.iter(|| rdp_to_dp(&group_rdp(&curve, 32), 1e-5)));

@@ -31,7 +31,13 @@ fn bench_scenario(
 ) -> ResultRow {
     let histogram = dataset.histogram();
     let n_max = dataset.max_records_per_user().next_power_of_two().max(64) as u64;
-    let config = ProtocolConfig { paillier_bits, dh_bits: 512, use_rfc_group: true, n_max, ..Default::default() };
+    let config = ProtocolConfig {
+        paillier_bits,
+        dh_bits: 512,
+        use_rfc_group: true,
+        n_max,
+        ..Default::default()
+    };
     let protocol = PrivateWeightingProtocol::setup(&histogram, &config, rng);
 
     // One round of clipped per-(silo, user) deltas and per-silo noise of the model size.
@@ -54,11 +60,8 @@ fn bench_scenario(
         .collect();
     let (aggregate, round) = protocol.weighting_round(&deltas, &noises, None, rng);
     let reference = protocol.plaintext_reference(&deltas, &noises, None);
-    let max_err = aggregate
-        .iter()
-        .zip(reference.iter())
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let max_err =
+        aggregate.iter().zip(reference.iter()).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
 
     let setup = protocol.setup_timings();
     let mut row = ResultRow::new(name);

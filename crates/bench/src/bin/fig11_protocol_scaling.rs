@@ -15,9 +15,7 @@ use uldp_bench::{millis, print_table, ResultRow, Scale};
 use uldp_core::{PrivateWeightingProtocol, ProtocolConfig};
 
 fn random_histogram(rng: &mut StdRng, num_silos: usize, num_users: usize) -> Vec<Vec<usize>> {
-    (0..num_silos)
-        .map(|_| (0..num_users).map(|_| rng.gen_range(1..8usize)).collect())
-        .collect()
+    (0..num_silos).map(|_| (0..num_users).map(|_| rng.gen_range(1..8usize)).collect()).collect()
 }
 
 fn one_round(
@@ -29,19 +27,22 @@ fn one_round(
     rng: &mut StdRng,
 ) -> ResultRow {
     let histogram = random_histogram(rng, num_silos, num_users);
-    let config = ProtocolConfig { paillier_bits, dh_bits: 512, use_rfc_group: true, n_max: 64, ..Default::default() };
+    let config = ProtocolConfig {
+        paillier_bits,
+        dh_bits: 512,
+        use_rfc_group: true,
+        n_max: 64,
+        ..Default::default()
+    };
     let protocol = PrivateWeightingProtocol::setup(&histogram, &config, rng);
     let deltas: Vec<Vec<Vec<f64>>> = histogram
         .iter()
         .map(|row| {
-            row.iter()
-                .map(|_| (0..params).map(|_| rng.gen_range(-0.1..0.1)).collect())
-                .collect()
+            row.iter().map(|_| (0..params).map(|_| rng.gen_range(-0.1..0.1)).collect()).collect()
         })
         .collect();
-    let noises: Vec<Vec<f64>> = (0..num_silos)
-        .map(|_| (0..params).map(|_| rng.gen_range(-0.01..0.01)).collect())
-        .collect();
+    let noises: Vec<Vec<f64>> =
+        (0..num_silos).map(|_| (0..params).map(|_| rng.gen_range(-0.01..0.01)).collect()).collect();
     let (_, timings) = protocol.weighting_round(&deltas, &noises, None, rng);
     let setup = protocol.setup_timings();
     let mut row = ResultRow::new(label);
@@ -68,14 +69,7 @@ fn main() {
     let param_sweep = scale.pick(vec![16usize, 64, 256, 1024], vec![16usize, 100, 1000, 10_000]);
     let mut rows = Vec::new();
     for &params in &param_sweep {
-        rows.push(one_round(
-            &format!("params={params}"),
-            3,
-            20,
-            params,
-            paillier_bits,
-            &mut rng,
-        ));
+        rows.push(one_round(&format!("params={params}"), 3, 20, params, paillier_bits, &mut rng));
     }
     print_table("Figure 11 (top): scaling with parameter count (|U|=20)", &rows);
 
@@ -83,14 +77,7 @@ fn main() {
     let user_sweep = [10usize, 20, 30, 40];
     let mut rows = Vec::new();
     for &users in &user_sweep {
-        rows.push(one_round(
-            &format!("users={users}"),
-            3,
-            users,
-            16,
-            paillier_bits,
-            &mut rng,
-        ));
+        rows.push(one_round(&format!("users={users}"), 3, users, 16, paillier_bits, &mut rng));
     }
     print_table("Figure 11 (bottom): scaling with user count (16 parameters)", &rows);
 

@@ -53,7 +53,8 @@ fn main() {
                 },
             );
             let dim = dataset.feature_dim();
-            let make_model = move || -> Box<dyn uldp_ml::Model> { Box::new(LinearClassifier::new(dim, 2)) };
+            let make_model =
+                move || -> Box<dyn uldp_ml::Model> { Box::new(LinearClassifier::new(dim, 2)) };
             let mut rows = Vec::new();
             for method in methods() {
                 let history = run_training(&dataset, method, rounds, sigma, 1.0, &make_model);

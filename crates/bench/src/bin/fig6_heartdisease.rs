@@ -32,7 +32,9 @@ fn main() {
     let rounds = scale.pick(10, 50);
     let sigma = 5.0;
 
-    println!("Figure 6 — HeartDisease privacy-utility trade-offs (4 silos, sigma={sigma}, T={rounds})");
+    println!(
+        "Figure 6 — HeartDisease privacy-utility trade-offs (4 silos, sigma={sigma}, T={rounds})"
+    );
 
     for num_users in [50usize, 200] {
         for allocation in [Allocation::Uniform, Allocation::zipf_default()] {

@@ -65,7 +65,8 @@ fn main() {
             row.push_f64("loss ULDP-AVG-w", weighted.final_loss().unwrap_or(f64::NAN));
             row.push_f64(
                 "gap (AVG - AVG-w)",
-                uniform.final_loss().unwrap_or(f64::NAN) - weighted.final_loss().unwrap_or(f64::NAN),
+                uniform.final_loss().unwrap_or(f64::NAN)
+                    - weighted.final_loss().unwrap_or(f64::NAN),
             );
             rows.push(row);
         }

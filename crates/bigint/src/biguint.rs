@@ -208,14 +208,16 @@ impl BigUint {
 
     /// Returns `true` iff the value is even.
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Returns the number of significant bits (zero has zero bits).
     pub fn bit_length(&self) -> usize {
         match self.limbs.last() {
             None => 0,
-            Some(&top) => (self.limbs.len() - 1) * LIMB_BITS + (LIMB_BITS - top.leading_zeros() as usize),
+            Some(&top) => {
+                (self.limbs.len() - 1) * LIMB_BITS + (LIMB_BITS - top.leading_zeros() as usize)
+            }
         }
     }
 
@@ -223,7 +225,7 @@ impl BigUint {
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / LIMB_BITS;
         let off = i % LIMB_BITS;
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     /// Sets bit `i` to one, growing the representation if needed.
@@ -251,8 +253,8 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(longer.len() + 1);
         let mut carry = 0u64;
-        for i in 0..longer.len() {
-            let a = longer[i] as u128;
+        for (i, &limb) in longer.iter().enumerate() {
+            let a = limb as u128;
             let b = *shorter.get(i).unwrap_or(&0) as u128;
             let sum = a + b + carry as u128;
             out.push(sum as u64);
@@ -266,8 +268,7 @@ impl BigUint {
 
     /// Subtraction; panics if `other > self`. Use [`BigUint::checked_sub`] otherwise.
     pub fn sub(&self, other: &BigUint) -> BigUint {
-        self.checked_sub(other)
-            .expect("BigUint::sub would underflow (other > self)")
+        self.checked_sub(other).expect("BigUint::sub would underflow (other > self)")
     }
 
     /// Subtraction returning `None` on underflow.
@@ -331,11 +332,7 @@ impl BigUint {
         let (b_lo, b_hi) = other.split_at(half);
         let z0 = a_lo.mul(&b_lo);
         let z2 = a_hi.mul(&b_hi);
-        let z1 = a_lo
-            .add(&a_hi)
-            .mul(&b_lo.add(&b_hi))
-            .sub(&z0)
-            .sub(&z2);
+        let z1 = a_lo.add(&a_hi).mul(&b_lo.add(&b_hi)).sub(&z0).sub(&z2);
         z2.shl_limbs(2 * half).add(&z1.shl_limbs(half)).add(&z0)
     }
 
@@ -400,11 +397,7 @@ impl BigUint {
             let src = &self.limbs[limb_shift..];
             for i in 0..src.len() {
                 let lo = src[i] >> bit_shift;
-                let hi = if i + 1 < src.len() {
-                    src[i + 1] << (LIMB_BITS - bit_shift)
-                } else {
-                    0
-                };
+                let hi = if i + 1 < src.len() { src[i + 1] << (LIMB_BITS - bit_shift) } else { 0 };
                 out.push(lo | hi);
             }
         }
@@ -512,7 +505,7 @@ impl BigUint {
     /// Uniform random value with exactly `bits` significant bits (top bit set).
     pub fn random_with_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
         assert!(bits > 0);
-        let limbs = (bits + LIMB_BITS - 1) / LIMB_BITS;
+        let limbs = bits.div_ceil(LIMB_BITS);
         let mut out = Vec::with_capacity(limbs);
         for _ in 0..limbs {
             out.push(rng.gen::<u64>());
@@ -534,7 +527,7 @@ impl BigUint {
         assert!(!bound.is_zero(), "random_below requires a positive bound");
         let bits = bound.bit_length();
         loop {
-            let limbs = (bits + LIMB_BITS - 1) / LIMB_BITS;
+            let limbs = bits.div_ceil(LIMB_BITS);
             let mut out = Vec::with_capacity(limbs);
             for _ in 0..limbs {
                 out.push(rng.gen::<u64>());

@@ -85,23 +85,14 @@ mod tests {
 
     #[test]
     fn gcd_small() {
-        assert_eq!(
-            gcd(&BigUint::from_u64(54), &BigUint::from_u64(24)),
-            BigUint::from_u64(6)
-        );
-        assert_eq!(
-            gcd(&BigUint::from_u64(17), &BigUint::from_u64(5)),
-            BigUint::from_u64(1)
-        );
+        assert_eq!(gcd(&BigUint::from_u64(54), &BigUint::from_u64(24)), BigUint::from_u64(6));
+        assert_eq!(gcd(&BigUint::from_u64(17), &BigUint::from_u64(5)), BigUint::from_u64(1));
         assert_eq!(gcd(&BigUint::zero(), &BigUint::from_u64(7)), BigUint::from_u64(7));
     }
 
     #[test]
     fn lcm_small() {
-        assert_eq!(
-            lcm(&BigUint::from_u64(4), &BigUint::from_u64(6)),
-            BigUint::from_u64(12)
-        );
+        assert_eq!(lcm(&BigUint::from_u64(4), &BigUint::from_u64(6)), BigUint::from_u64(12));
         assert_eq!(lcm(&BigUint::zero(), &BigUint::from_u64(6)), BigUint::zero());
     }
 

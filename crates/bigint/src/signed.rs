@@ -62,14 +62,12 @@ impl BigInt {
     pub fn from_i64(v: i64) -> Self {
         match v.cmp(&0) {
             Ordering::Equal => Self::zero(),
-            Ordering::Greater => BigInt {
-                sign: Sign::Positive,
-                magnitude: BigUint::from_u64(v as u64),
-            },
-            Ordering::Less => BigInt {
-                sign: Sign::Negative,
-                magnitude: BigUint::from_u64(v.unsigned_abs()),
-            },
+            Ordering::Greater => {
+                BigInt { sign: Sign::Positive, magnitude: BigUint::from_u64(v as u64) }
+            }
+            Ordering::Less => {
+                BigInt { sign: Sign::Negative, magnitude: BigUint::from_u64(v.unsigned_abs()) }
+            }
         }
     }
 

@@ -3,7 +3,7 @@
 //! The paper assumes every aggregation is performed with secure aggregation so that the
 //! server only ever sees the *sum* of the silo contributions (plus the DP noise each silo
 //! added locally). Because the sum is numerically identical whether or not masks are
-//! applied, the trainer uses the plaintext sum for speed; [`masked_sum`] implements the
+//! applied, the trainer uses the plaintext sum for speed; [`SecureAggregationSim::masked_sum`] implements the
 //! masked path over the fixed-point field and is verified against the plaintext sum in
 //! tests and used by the full private weighting protocol ([`crate::protocol`]).
 
@@ -82,9 +82,7 @@ impl SecureAggregationSim {
             assert_eq!(vector.len(), dim, "silo vector dimensionality mismatch");
             let generators: Vec<(usize, MaskGenerator)> = (0..num_silos)
                 .filter(|&other| other != silo)
-                .map(|other| {
-                    (other, MaskGenerator::new(pair_seeds[silo][other], modulus.clone()))
-                })
+                .map(|other| (other, MaskGenerator::new(pair_seeds[silo][other], modulus.clone())))
                 .collect();
             for (coord, &value) in vector.iter().enumerate() {
                 let encoded = self.codec.encode(value);
@@ -96,10 +94,7 @@ impl SecureAggregationSim {
                 accumulator[coord] = mod_add(&accumulator[coord], &masked, &modulus);
             }
         }
-        accumulator
-            .iter()
-            .map(|v| self.codec.decode_plain(v))
-            .collect()
+        accumulator.iter().map(|v| self.codec.decode_plain(v)).collect()
     }
 }
 
@@ -111,14 +106,14 @@ mod tests {
 
     fn pair_seeds(num_silos: usize) -> Vec<Vec<MaskSeed>> {
         let mut seeds = vec![vec![MaskSeed::new([0u8; 32]); num_silos]; num_silos];
-        for i in 0..num_silos {
-            for j in 0..num_silos {
+        for (i, row) in seeds.iter_mut().enumerate() {
+            for (j, slot) in row.iter_mut().enumerate() {
                 let (lo, hi) = if i < j { (i, j) } else { (j, i) };
                 let mut bytes = [0u8; 32];
                 bytes[0] = lo as u8;
                 bytes[1] = hi as u8;
                 bytes[2] = 0xAB;
-                seeds[i][j] = MaskSeed::new(bytes);
+                *slot = MaskSeed::new(bytes);
             }
         }
         seeds

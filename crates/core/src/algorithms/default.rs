@@ -5,8 +5,8 @@
 //! rate. This is the utility upper bound ("DEFAULT" in Figures 4–7); it offers no DP
 //! guarantee.
 
-use crate::algorithms::{apply_update, map_silos};
 use crate::aggregation::sum_deltas;
+use crate::algorithms::{apply_update, map_silos};
 use crate::config::FlConfig;
 use crate::silo;
 use uldp_datasets::FederatedDataset;
@@ -24,11 +24,8 @@ pub fn run_round(
     let template = model.clone_model();
     let deltas = map_silos(dataset.num_silos, round_seed, |silo_id, rng| {
         let mut scratch = template.clone_model();
-        let records: Vec<&uldp_ml::Sample> = dataset
-            .silo_records(silo_id)
-            .into_iter()
-            .map(|r| &r.sample)
-            .collect();
+        let records: Vec<&uldp_ml::Sample> =
+            dataset.silo_records(silo_id).into_iter().map(|r| &r.sample).collect();
         silo::local_train(
             scratch.as_mut(),
             &global,
@@ -40,12 +37,7 @@ pub fn run_round(
         )
     });
     let aggregate = sum_deltas(&deltas, dim);
-    apply_update(
-        model.as_mut(),
-        &aggregate,
-        config.global_lr,
-        1.0 / dataset.num_silos as f64,
-    );
+    apply_update(model.as_mut(), &aggregate, config.global_lr, 1.0 / dataset.num_silos as f64);
 }
 
 #[cfg(test)]

@@ -11,8 +11,8 @@
 //! ignoring the privacy cost of computing the flags themselves (a stated limitation of
 //! this baseline).
 
-use crate::algorithms::{apply_update, map_silos};
 use crate::aggregation::sum_deltas;
+use crate::algorithms::{apply_update, map_silos};
 use crate::config::{FlConfig, GroupSize};
 use crate::silo;
 use uldp_datasets::FederatedDataset;
@@ -100,12 +100,7 @@ pub fn run_round(
         )
     });
     let aggregate = sum_deltas(&deltas, dim);
-    apply_update(
-        model.as_mut(),
-        &aggregate,
-        config.global_lr,
-        1.0 / dataset.num_silos as f64,
-    );
+    apply_update(model.as_mut(), &aggregate, config.global_lr, 1.0 / dataset.num_silos as f64);
 }
 
 #[cfg(test)]
@@ -174,7 +169,8 @@ mod tests {
             local_epochs: 5,
             ..Default::default()
         };
-        let flags = build_contribution_flags(&dataset, resolve_group_size(&dataset, GroupSize::Max));
+        let flags =
+            build_contribution_flags(&dataset, resolve_group_size(&dataset, GroupSize::Max));
         for t in 0..5 {
             run_round(&mut model, &dataset, &config, &flags, t);
         }

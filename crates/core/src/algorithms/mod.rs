@@ -35,11 +35,11 @@ where
             .collect();
     }
     let mut results: Vec<Option<Vec<f64>>> = (0..num_silos).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(num_silos);
         for s in 0..num_silos {
             let per_silo = &per_silo;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(silo_seed(s));
                 per_silo(s, &mut rng)
             }));
@@ -47,19 +47,13 @@ where
         for (s, handle) in handles.into_iter().enumerate() {
             results[s] = Some(handle.join().expect("silo thread panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     results.into_iter().map(|r| r.expect("missing silo result")).collect()
 }
 
 /// Applies the aggregated update to the global model:
 /// `x ← x + global_lr · scale · aggregate`.
-pub(crate) fn apply_update(
-    model: &mut dyn Model,
-    aggregate: &[f64],
-    global_lr: f64,
-    scale: f64,
-) {
+pub(crate) fn apply_update(model: &mut dyn Model, aggregate: &[f64], global_lr: f64, scale: f64) {
     let params = model.parameters_mut();
     assert_eq!(params.len(), aggregate.len(), "aggregate dimensionality mismatch");
     for (p, a) in params.iter_mut().zip(aggregate.iter()) {
@@ -89,10 +83,8 @@ pub(crate) mod test_util {
         for i in 0..records {
             let label = i % 2;
             let sign = if label == 1 { 1.0 } else { -1.0 };
-            let features = vec![
-                sign * 2.0 + rng.gen_range(-0.3..0.3),
-                sign * 1.0 + rng.gen_range(-0.3..0.3),
-            ];
+            let features =
+                vec![sign * 2.0 + rng.gen_range(-0.3..0.3), sign * 1.0 + rng.gen_range(-0.3..0.3)];
             recs.push(FederatedRecord {
                 sample: Sample::classification(features, label),
                 user: rng.gen_range(0..num_users),

@@ -7,8 +7,8 @@
 //! of silos to average over, the result is a very noisy update — the reason this baseline
 //! achieves a small ε but poor utility in the figures.
 
-use crate::algorithms::{apply_update, map_silos};
 use crate::aggregation::{add_gaussian_noise, sum_deltas};
+use crate::algorithms::{apply_update, map_silos};
 use crate::config::FlConfig;
 use crate::silo;
 use uldp_ml::{clipping, Model};
@@ -29,11 +29,8 @@ pub fn run_round(
     let noise_std = config.sigma * config.clip_bound * (dataset.num_silos as f64).sqrt();
     let deltas = map_silos(dataset.num_silos, round_seed, |silo_id, rng| {
         let mut scratch = template.clone_model();
-        let records: Vec<&uldp_ml::Sample> = dataset
-            .silo_records(silo_id)
-            .into_iter()
-            .map(|r| &r.sample)
-            .collect();
+        let records: Vec<&uldp_ml::Sample> =
+            dataset.silo_records(silo_id).into_iter().map(|r| &r.sample).collect();
         let mut delta = silo::local_train(
             scratch.as_mut(),
             &global,
@@ -48,12 +45,7 @@ pub fn run_round(
         delta
     });
     let aggregate = sum_deltas(&deltas, dim);
-    apply_update(
-        model.as_mut(),
-        &aggregate,
-        config.global_lr,
-        1.0 / dataset.num_silos as f64,
-    );
+    apply_update(model.as_mut(), &aggregate, config.global_lr, 1.0 / dataset.num_silos as f64);
 }
 
 #[cfg(test)]
@@ -92,12 +84,8 @@ mod tests {
         let mut m2 = tiny_model();
         run_round(&mut m1, &dataset, &config, 1);
         run_round(&mut m2, &dataset, &config, 2);
-        let diff: f64 = m1
-            .parameters()
-            .iter()
-            .zip(m2.parameters().iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let diff: f64 =
+            m1.parameters().iter().zip(m2.parameters().iter()).map(|(a, b)| (a - b).abs()).sum();
         assert!(diff > 0.1, "different noise seeds should give different models");
     }
 

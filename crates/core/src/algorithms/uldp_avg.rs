@@ -11,8 +11,8 @@
 //! The server update divides by `|U|·|S|` (or `q·|U|·|S|` under user-level sub-sampling,
 //! Algorithm 4).
 
-use crate::algorithms::{apply_update, map_silos};
 use crate::aggregation::{add_gaussian_noise, sum_deltas};
+use crate::algorithms::{apply_update, map_silos};
 use crate::config::FlConfig;
 use crate::silo;
 use crate::weighting::WeightMatrix;
@@ -78,11 +78,7 @@ pub fn run_round(
 /// The maximum possible contribution of a single user to the *aggregated* (pre-noise)
 /// delta under the given weights — the user-level sensitivity bounded by Theorem 3.
 pub fn user_sensitivity_bound(weights: &WeightMatrix, clip_bound: f64) -> f64 {
-    weights
-        .user_sums()
-        .into_iter()
-        .fold(0.0f64, f64::max)
-        * clip_bound
+    weights.user_sums().into_iter().fold(0.0f64, f64::max) * clip_bound
 }
 
 #[cfg(test)]
@@ -156,7 +152,7 @@ mod tests {
     fn sensitivity_bound_matches_theorem3() {
         let weights = WeightMatrix::uniform(4, 10);
         assert!((user_sensitivity_bound(&weights, 2.0) - 2.0).abs() < 1e-9);
-        let masked = weights.masked_by_sampling(&vec![false; 10]);
+        let masked = weights.masked_by_sampling(&[false; 10]);
         assert_eq!(user_sensitivity_bound(&masked, 2.0), 0.0);
     }
 
@@ -166,7 +162,7 @@ mod tests {
         let cfg = avg_config(0.0, 2);
         let weights = WeightMatrix::uniform(2, 6);
         // No users sampled: model must not move.
-        let none = weights.masked_by_sampling(&vec![false; 6]);
+        let none = weights.masked_by_sampling(&[false; 6]);
         let mut model = tiny_model();
         let before = model.parameters().to_vec();
         run_round(&mut model, &dataset, &cfg, &none, 0.5, 0);
@@ -176,8 +172,10 @@ mod tests {
     #[test]
     fn record_proportional_weights_respect_constraint() {
         let dataset = tiny_federation(3, 7, 90);
-        let weights =
-            WeightMatrix::from_histogram(WeightingStrategy::RecordProportional, &dataset.histogram());
+        let weights = WeightMatrix::from_histogram(
+            WeightingStrategy::RecordProportional,
+            &dataset.histogram(),
+        );
         assert!(weights.satisfies_sensitivity_constraint(1e-9));
         let mut model = tiny_model();
         let cfg = avg_config(0.0, 3);

@@ -5,8 +5,8 @@
 //! descent step. The paper notes ULDP-SGD converges more slowly than ULDP-AVG (the same
 //! relationship as FedSGD vs FedAVG), which Figures 4–7 confirm.
 
-use crate::algorithms::{apply_update, map_silos};
 use crate::aggregation::{add_gaussian_noise, sum_deltas};
+use crate::algorithms::{apply_update, map_silos};
 use crate::config::FlConfig;
 use crate::silo;
 use crate::weighting::WeightMatrix;
@@ -53,7 +53,8 @@ pub fn run_round(
     let aggregate = sum_deltas(&gradients, dim);
     // Gradients point uphill, so the server applies a *descent* step with the local
     // learning rate folded in (one SGD step per round at user level).
-    let scale = -config.local_lr / (sampling_q * dataset.num_users as f64 * dataset.num_silos as f64);
+    let scale =
+        -config.local_lr / (sampling_q * dataset.num_users as f64 * dataset.num_silos as f64);
     apply_update(model.as_mut(), &aggregate, config.global_lr, scale);
 }
 
@@ -105,7 +106,7 @@ mod tests {
     #[test]
     fn zero_weights_freeze_model() {
         let dataset = tiny_federation(2, 8, 60);
-        let weights = WeightMatrix::uniform(2, 8).masked_by_sampling(&vec![false; 8]);
+        let weights = WeightMatrix::uniform(2, 8).masked_by_sampling(&[false; 8]);
         let cfg = sgd_config();
         let mut model = tiny_model();
         let before = model.parameters().to_vec();

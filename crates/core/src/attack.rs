@@ -59,14 +59,10 @@ pub fn user_level_membership_inference(
     members: &[Vec<Sample>],
     non_members: &[Vec<Sample>],
 ) -> MembershipInferenceResult {
-    let member_losses: Vec<f64> = members
-        .iter()
-        .filter_map(|records| user_average_loss(model, records))
-        .collect();
-    let non_member_losses: Vec<f64> = non_members
-        .iter()
-        .filter_map(|records| user_average_loss(model, records))
-        .collect();
+    let member_losses: Vec<f64> =
+        members.iter().filter_map(|records| user_average_loss(model, records)).collect();
+    let non_member_losses: Vec<f64> =
+        non_members.iter().filter_map(|records| user_average_loss(model, records)).collect();
     assert!(
         !member_losses.is_empty() && !non_member_losses.is_empty(),
         "both member and non-member user sets must be non-empty"
@@ -102,7 +98,11 @@ mod tests {
 
     /// Random-label data: the only way a model achieves low loss on it is memorisation,
     /// which is exactly the leakage membership inference detects.
-    fn random_label_users(num_users: usize, records_per_user: usize, seed: u64) -> Vec<Vec<Sample>> {
+    fn random_label_users(
+        num_users: usize,
+        records_per_user: usize,
+        seed: u64,
+    ) -> Vec<Vec<Sample>> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..num_users)
             .map(|_| {
@@ -120,7 +120,7 @@ mod tests {
         let mut model = LinearClassifier::new(8, 2);
         let all: Vec<&Sample> = members.iter().flatten().collect();
         let sgd = Sgd::new(0.5);
-        for _ in 0..400 {
+        for _ in 0..2000 {
             let (_, grad) = model.loss_and_gradient(&all);
             sgd.step(model.parameters_mut(), &grad);
         }
@@ -129,8 +129,10 @@ mod tests {
 
     #[test]
     fn overfit_model_leaks_membership() {
-        let members = random_label_users(15, 4, 1);
-        let non_members = random_label_users(15, 4, 2);
+        // Few records relative to model capacity (18 parameters, 24 records) so the
+        // model can genuinely memorise the random labels and the attack has signal.
+        let members = random_label_users(12, 2, 1);
+        let non_members = random_label_users(12, 2, 2);
         let model = overfit_model(&members);
         let result = user_level_membership_inference(&model, &members, &non_members);
         assert!(result.auc > 0.6, "expected clear leakage, got AUC {}", result.auc);

@@ -201,7 +201,8 @@ mod tests {
 
     #[test]
     fn recommended_scales_global_lr_for_avg() {
-        let avg = FlConfig::recommended(Method::UldpAvg { weighting: WeightingStrategy::Uniform }, 5);
+        let avg =
+            FlConfig::recommended(Method::UldpAvg { weighting: WeightingStrategy::Uniform }, 5);
         assert_eq!(avg.global_lr, 5.0);
         let naive = FlConfig::recommended(Method::UldpNaive, 5);
         assert_eq!(naive.global_lr, 1.0);

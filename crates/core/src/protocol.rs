@@ -219,7 +219,8 @@ impl PrivateWeightingProtocol {
         for i in 0..num_silos {
             for j in 0..num_silos {
                 if i != j {
-                    pair_seeds[i][j] = MaskSeed::new(keypairs[i].shared_seed(keypairs[j].public_key()));
+                    pair_seeds[i][j] =
+                        MaskSeed::new(keypairs[i].shared_seed(keypairs[j].public_key()));
                 }
             }
         }
@@ -236,10 +237,8 @@ impl PrivateWeightingProtocol {
 
         // --- Step 1.(d)-(e): blinded, masked histogram aggregation. ---
         let hist_start = Instant::now();
-        let silo_histograms: Vec<Vec<u64>> = histogram
-            .iter()
-            .map(|row| row.iter().map(|&c| c as u64).collect())
-            .collect();
+        let silo_histograms: Vec<Vec<u64>> =
+            histogram.iter().map(|row| row.iter().map(|&c| c as u64).collect()).collect();
         let mut user_totals = vec![0u64; num_users];
         for row in &silo_histograms {
             for (t, &c) in user_totals.iter_mut().zip(row.iter()) {
@@ -285,7 +284,11 @@ impl PrivateWeightingProtocol {
             user_totals,
             blinded_inverses,
             pair_seeds,
-            setup_timings: ProtocolTimings { key_exchange, histogram_blinding, inverse_computation },
+            setup_timings: ProtocolTimings {
+                key_exchange,
+                histogram_blinding,
+                inverse_computation,
+            },
         }
     }
 
@@ -351,7 +354,7 @@ impl PrivateWeightingProtocol {
         let enc_start = Instant::now();
         let encrypted_inverses: Vec<Ciphertext> = (0..self.num_users)
             .map(|u| {
-                let keep = sampled.map_or(true, |s| s[u]);
+                let keep = sampled.is_none_or(|s| s[u]);
                 match (&self.blinded_inverses[u], keep) {
                     (Some(inv), true) => self.paillier.public.encrypt(rng, inv),
                     _ => self.paillier.public.encrypt(rng, &BigUint::zero()),
@@ -409,8 +412,8 @@ impl PrivateWeightingProtocol {
             let (output, _sender_view) = offer.transfer_uniform(rng);
             // The receiver keeps only the ciphertext; whether it was a real slot is
             // recorded here purely so tests can validate correctness.
-            let was_real =
-                output.chosen_index < sampling.numerator as usize && self.blinded_inverses[u].is_some();
+            let was_real = output.chosen_index < sampling.numerator as usize
+                && self.blinded_inverses[u].is_some();
             chosen.push(output.item);
             selected_flags.push(was_real);
         }
@@ -466,18 +469,13 @@ impl PrivateWeightingProtocol {
         let agg_start = Instant::now();
         let mut out = Vec::with_capacity(dim);
         for j in 0..dim {
-            let total = self
-                .paillier
-                .public
-                .sum(per_silo_ciphertexts.iter().map(|coords| &coords[j]));
+            let total =
+                self.paillier.public.sum(per_silo_ciphertexts.iter().map(|coords| &coords[j]));
             let decrypted = self.paillier.secret.decrypt(&total);
             out.push(self.codec.decode(&decrypted, &self.c_lcm));
         }
         let aggregation = agg_start.elapsed();
-        (
-            out,
-            RoundTimings { server_encryption: Duration::ZERO, silo_weighting, aggregation },
-        )
+        (out, RoundTimings { server_encryption: Duration::ZERO, silo_weighting, aggregation })
     }
 
     /// The plaintext value the protocol is supposed to compute:
@@ -492,7 +490,7 @@ impl PrivateWeightingProtocol {
         let mut out = vec![0.0; dim];
         for silo in 0..self.num_silos {
             for (u, delta) in clipped_deltas[silo].iter().enumerate() {
-                let keep = sampled.map_or(true, |s| s[u]);
+                let keep = sampled.is_none_or(|s| s[u]);
                 let n_su = self.silo_histograms[silo][u];
                 if !keep || n_su == 0 || delta.is_empty() || self.user_totals[u] == 0 {
                     continue;
@@ -580,11 +578,8 @@ mod tests {
         }
         // and it differs from the un-sampled aggregate
         let full_reference = protocol.plaintext_reference(&deltas, &noises, None);
-        let diff: f64 = reference
-            .iter()
-            .zip(full_reference.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let diff: f64 =
+            reference.iter().zip(full_reference.iter()).map(|(a, b)| (a - b).abs()).sum();
         assert!(diff > 1e-3);
     }
 
@@ -602,7 +597,8 @@ mod tests {
     #[test]
     fn setup_reports_timings_and_key_size() {
         let mut rng = StdRng::seed_from_u64(6);
-        let protocol = PrivateWeightingProtocol::setup(&small_histogram(), &test_config(), &mut rng);
+        let protocol =
+            PrivateWeightingProtocol::setup(&small_histogram(), &test_config(), &mut rng);
         assert!(protocol.setup_timings().total() > Duration::ZERO);
         assert!(protocol.modulus_bits() >= 255);
         assert_eq!(protocol.num_silos(), 3);
@@ -619,8 +615,8 @@ mod tests {
         let protocol = PrivateWeightingProtocol::setup(&histogram, &test_config(), &mut rng);
         let (deltas, noises) = deltas_and_noise(&histogram, 3, 32);
         let sampling = ObliviousSubsampling::new(4, 4);
-        let (secure, flags, _) =
-            protocol.weighting_round_with_oblivious_subsampling(&deltas, &noises, &sampling, &mut rng);
+        let (secure, flags, _) = protocol
+            .weighting_round_with_oblivious_subsampling(&deltas, &noises, &sampling, &mut rng);
         assert!(flags.iter().all(|&f| f));
         let reference = protocol.plaintext_reference(&deltas, &noises, None);
         for (a, b) in secure.iter().zip(reference.iter()) {
@@ -635,8 +631,8 @@ mod tests {
         let protocol = PrivateWeightingProtocol::setup(&histogram, &test_config(), &mut rng);
         let (deltas, noises) = deltas_and_noise(&histogram, 3, 34);
         let sampling = ObliviousSubsampling::new(0, 4);
-        let (secure, flags, _) =
-            protocol.weighting_round_with_oblivious_subsampling(&deltas, &noises, &sampling, &mut rng);
+        let (secure, flags, _) = protocol
+            .weighting_round_with_oblivious_subsampling(&deltas, &noises, &sampling, &mut rng);
         assert!(flags.iter().all(|&f| !f));
         // Only the per-silo noise survives.
         let noise_only = protocol.plaintext_reference(
@@ -657,8 +653,8 @@ mod tests {
         let (deltas, noises) = deltas_and_noise(&histogram, 3, 36);
         let sampling = ObliviousSubsampling::new(1, 2);
         assert!((sampling.probability() - 0.5).abs() < 1e-12);
-        let (secure, flags, _) =
-            protocol.weighting_round_with_oblivious_subsampling(&deltas, &noises, &sampling, &mut rng);
+        let (secure, flags, _) = protocol
+            .weighting_round_with_oblivious_subsampling(&deltas, &noises, &sampling, &mut rng);
         let reference = protocol.plaintext_reference(&deltas, &noises, Some(&flags));
         for (a, b) in secure.iter().zip(reference.iter()) {
             assert!((a - b).abs() < 1e-6, "{a} vs {b}");
@@ -676,7 +672,8 @@ mod tests {
     fn rejects_user_totals_above_n_max() {
         let mut rng = StdRng::seed_from_u64(7);
         let histogram = vec![vec![20usize], vec![20usize]];
-        let cfg = ProtocolConfig { n_max: 8, paillier_bits: 128, dh_bits: 64, ..Default::default() };
+        let cfg =
+            ProtocolConfig { n_max: 8, paillier_bits: 128, dh_bits: 64, ..Default::default() };
         let _ = PrivateWeightingProtocol::setup(&histogram, &cfg, &mut rng);
     }
 

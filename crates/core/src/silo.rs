@@ -42,12 +42,7 @@ pub fn local_train<R: Rng + ?Sized>(
             sgd.step(model.parameters_mut(), &grad);
         }
     }
-    model
-        .parameters()
-        .iter()
-        .zip(initial_params.iter())
-        .map(|(new, old)| new - old)
-        .collect()
+    model.parameters().iter().zip(initial_params.iter()).map(|(new, old)| new - old).collect()
 }
 
 /// A single full-batch gradient of the loss at `params` over `records`.
@@ -106,12 +101,7 @@ pub fn dp_sgd<R: Rng + ?Sized>(
         }
         sgd.step(model.parameters_mut(), &sum_grad);
     }
-    model
-        .parameters()
-        .iter()
-        .zip(initial_params.iter())
-        .map(|(new, old)| new - old)
-        .collect()
+    model.parameters().iter().zip(initial_params.iter()).map(|(new, old)| new - old).collect()
 }
 
 #[cfg(test)]

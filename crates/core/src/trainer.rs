@@ -119,10 +119,9 @@ impl Trainer {
             Method::UldpNaive => {
                 AlgorithmPrivacy::UserLevelGaussian { sigma: config.sigma, q: 1.0 }
             }
-            Method::UldpAvg { .. } | Method::UldpSgd { .. } => AlgorithmPrivacy::UserLevelGaussian {
-                sigma: config.sigma,
-                q: config.user_sampling,
-            },
+            Method::UldpAvg { .. } | Method::UldpSgd { .. } => {
+                AlgorithmPrivacy::UserLevelGaussian { sigma: config.sigma, q: config.user_sampling }
+            }
             Method::UldpGroup { group_size, sampling_rate } => {
                 let k = group::resolve_group_size(&dataset, group_size);
                 AlgorithmPrivacy::GroupDpSgd {
@@ -309,10 +308,7 @@ mod tests {
         let mut group_trainer = Trainer::new(quick_config(group), dataset, tiny_model());
         let avg_eps = avg_trainer.run().final_epsilon();
         let group_eps = group_trainer.run().final_epsilon();
-        assert!(
-            group_eps > avg_eps,
-            "group eps {group_eps} should exceed avg eps {avg_eps}"
-        );
+        assert!(group_eps > avg_eps, "group eps {group_eps} should exceed avg eps {avg_eps}");
     }
 
     #[test]

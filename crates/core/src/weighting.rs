@@ -58,9 +58,7 @@ impl WeightMatrix {
             for s in 0..num_silos {
                 weights[s * num_users + u] = match strategy {
                     WeightingStrategy::Uniform => 1.0 / num_silos as f64,
-                    WeightingStrategy::RecordProportional => {
-                        histogram[s][u] as f64 / total as f64
-                    }
+                    WeightingStrategy::RecordProportional => histogram[s][u] as f64 / total as f64,
                 };
             }
         }
@@ -103,8 +101,8 @@ impl WeightMatrix {
     pub fn masked_by_sampling(&self, sampled: &[bool]) -> WeightMatrix {
         assert_eq!(sampled.len(), self.num_users, "sampling mask length mismatch");
         let mut out = self.clone();
-        for u in 0..self.num_users {
-            if !sampled[u] {
+        for (u, &keep) in sampled.iter().enumerate() {
+            if !keep {
                 for s in 0..self.num_silos {
                     out.weights[s * self.num_users + u] = 0.0;
                 }
@@ -116,9 +114,7 @@ impl WeightMatrix {
     /// The per-user column sums `Σ_s w_{s,u}` (should be 1 for participating users, 0 for
     /// absent or unsampled users).
     pub fn user_sums(&self) -> Vec<f64> {
-        (0..self.num_users)
-            .map(|u| (0..self.num_silos).map(|s| self.get(s, u)).sum())
-            .collect()
+        (0..self.num_users).map(|u| (0..self.num_silos).map(|s| self.get(s, u)).sum()).collect()
     }
 
     /// Verifies the sensitivity constraint of Theorem 3: every column sums to at most

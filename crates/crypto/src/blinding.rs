@@ -33,7 +33,7 @@ impl MultiplicativeBlinder {
     /// (Eq. (4) of the paper).
     pub fn factor(&self, user_index: u64) -> BigUint {
         let bits = self.modulus.bit_length();
-        let bytes_needed = (bits + 7) / 8;
+        let bytes_needed = bits.div_ceil(8);
         let mut counter = 0u64;
         loop {
             let mut material = Vec::with_capacity(bytes_needed + 32);
@@ -51,7 +51,7 @@ impl MultiplicativeBlinder {
             }
             material.truncate(bytes_needed);
             let candidate = BigUint::from_bytes_be(&material).shr_bits(bytes_needed * 8 - bits);
-            if candidate.is_zero() || &candidate >= &self.modulus {
+            if candidate.is_zero() || candidate >= self.modulus {
                 counter += 1;
                 continue;
             }

@@ -117,10 +117,7 @@ mod tests {
         let group = DhGroup::generate(&mut rng, 64);
         let alice = DhKeyPair::generate(&mut rng, &group);
         let bob = DhKeyPair::generate(&mut rng, &group);
-        assert_eq!(
-            alice.shared_secret(bob.public_key()),
-            bob.shared_secret(alice.public_key())
-        );
+        assert_eq!(alice.shared_secret(bob.public_key()), bob.shared_secret(alice.public_key()));
         assert_eq!(alice.shared_seed(bob.public_key()), bob.shared_seed(alice.public_key()));
     }
 
@@ -130,10 +127,7 @@ mod tests {
         let group = DhGroup::rfc3526_2048();
         let alice = DhKeyPair::generate(&mut rng, &group);
         let bob = DhKeyPair::generate(&mut rng, &group);
-        assert_eq!(
-            alice.shared_secret(bob.public_key()),
-            bob.shared_secret(alice.public_key())
-        );
+        assert_eq!(alice.shared_secret(bob.public_key()), bob.shared_secret(alice.public_key()));
     }
 
     #[test]

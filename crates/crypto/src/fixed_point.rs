@@ -97,11 +97,7 @@ impl FixedPointCodec {
         // correctly: the quotient carries the signal, the remainder is < 1 unit.
         let (q, r) = magnitude.div_rem(c_lcm);
         let c_lcm_f = c_lcm.to_f64();
-        let frac = if c_lcm_f.is_finite() && c_lcm_f > 0.0 {
-            r.to_f64() / c_lcm_f
-        } else {
-            0.0
-        };
+        let frac = if c_lcm_f.is_finite() && c_lcm_f > 0.0 { r.to_f64() / c_lcm_f } else { 0.0 };
         sign * (q.to_f64() + frac) * self.precision
     }
 

@@ -4,7 +4,7 @@
 //! paper). Everything here is implemented from first principles on top of
 //! [`uldp_bigint`]:
 //!
-//! * [`sha256`] — FIPS 180-4 SHA-256, used as the key-derivation function for
+//! * [`sha256`](mod@sha256) — FIPS 180-4 SHA-256, used as the key-derivation function for
 //!   Diffie–Hellman shared secrets and as the PRG backbone for mask expansion.
 //! * [`dh`] — finite-field Diffie–Hellman key agreement (RFC 3526 MODP groups and custom
 //!   test groups) used in the setup phase of Protocol 1 to establish pairwise shared seeds

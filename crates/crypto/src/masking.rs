@@ -46,7 +46,7 @@ impl MaskGenerator {
     pub fn mask(&self, round: u64, index: u64) -> BigUint {
         // Rejection-sample uniformly in [0, modulus) using counter-mode SHA-256.
         let bits = self.modulus.bit_length();
-        let bytes_needed = (bits + 7) / 8;
+        let bytes_needed = bits.div_ceil(8);
         let mut counter: u64 = 0;
         loop {
             let mut material = Vec::with_capacity(bytes_needed + 32);
@@ -66,7 +66,7 @@ impl MaskGenerator {
             material.truncate(bytes_needed);
             // Trim excess bits so the candidate has at most `bits` bits.
             let candidate = BigUint::from_bytes_be(&material).shr_bits(bytes_needed * 8 - bits);
-            if &candidate < &self.modulus {
+            if candidate < self.modulus {
                 return candidate;
             }
             counter += 1;
@@ -147,9 +147,10 @@ mod tests {
             let (lo, hi) = if a < b { (a, b) } else { (b, a) };
             seed((lo * 10 + hi) as u8)
         };
-        let values: Vec<BigUint> = (0..num_silos).map(|i| BigUint::from_u64(100 + i as u64)).collect();
+        let values: Vec<BigUint> =
+            (0..num_silos).map(|i| BigUint::from_u64(100 + i as u64)).collect();
         let mut masked_sum = BigUint::zero();
-        for s in 0..num_silos {
+        for (s, value) in values.iter().enumerate() {
             let pair_masks: Vec<(usize, BigUint)> = (0..num_silos)
                 .filter(|&o| o != s)
                 .map(|o| {
@@ -157,7 +158,7 @@ mod tests {
                     (o, gen.mask(3, 42))
                 })
                 .collect();
-            let masked = apply_pairwise_masks(&values[s], s, &pair_masks, &m);
+            let masked = apply_pairwise_masks(value, s, &pair_masks, &m);
             masked_sum = mod_add(&masked_sum, &masked, &m);
         }
         let expected: BigUint = values.iter().fold(BigUint::zero(), |acc, v| mod_add(&acc, v, &m));

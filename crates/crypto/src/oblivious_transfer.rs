@@ -57,7 +57,10 @@ impl<T: Clone> OneOutOfP<T> {
     /// Returns the receiver's output and the sender's view. The sender's view contains no
     /// information about the choice — this is the guarantee a cryptographic OT would
     /// enforce and that the simulation preserves by construction.
-    pub fn transfer_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> (ReceiverOutput<T>, SenderView) {
+    pub fn transfer_uniform<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> (ReceiverOutput<T>, SenderView) {
         let chosen_index = rng.gen_range(0..self.items.len());
         self.transfer_at(chosen_index)
     }

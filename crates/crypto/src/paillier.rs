@@ -266,10 +266,8 @@ mod tests {
         let kp = keypair(256, 13);
         let mut rng = StdRng::seed_from_u64(14);
         let values: Vec<u64> = (1..=20).collect();
-        let ciphertexts: Vec<Ciphertext> = values
-            .iter()
-            .map(|&v| kp.public.encrypt(&mut rng, &BigUint::from_u64(v)))
-            .collect();
+        let ciphertexts: Vec<Ciphertext> =
+            values.iter().map(|&v| kp.public.encrypt(&mut rng, &BigUint::from_u64(v))).collect();
         let total = kp.public.sum(ciphertexts.iter());
         assert_eq!(kp.secret.decrypt(&total), BigUint::from_u64(values.iter().sum()));
     }

@@ -148,7 +148,8 @@ pub fn allocate_fixed_silos<R: Rng + ?Sized>(
                 (0..num_users).map(|_| rng.gen_range(0..num_silos)).collect();
             // Remaining slots per silo.
             let mut remaining: Vec<usize> = silo_sizes.to_vec();
-            let mut out: Vec<Vec<UserId>> = silo_sizes.iter().map(|&n| Vec::with_capacity(n)).collect();
+            let mut out: Vec<Vec<UserId>> =
+                silo_sizes.iter().map(|&n| Vec::with_capacity(n)).collect();
             let total: usize = silo_sizes.iter().sum();
             for _ in 0..total {
                 let rank = sample_index(rng, &user_weights);
@@ -159,8 +160,7 @@ pub fn allocate_fixed_silos<R: Rng + ?Sized>(
                     preferred
                 } else {
                     // uniformly among silos with remaining capacity
-                    let open: Vec<SiloId> =
-                        (0..num_silos).filter(|&s| remaining[s] > 0).collect();
+                    let open: Vec<SiloId> = (0..num_silos).filter(|&s| remaining[s] > 0).collect();
                     open[rng.gen_range(0..open.len())]
                 };
                 remaining[silo] -= 1;
@@ -191,11 +191,8 @@ pub fn enforce_min_records_per_pair(
     }
     // Repeatedly move records from the most populous pair to deficient pairs.
     loop {
-        let deficient: Vec<(UserId, SiloId)> = counts
-            .iter()
-            .filter(|&(_, &c)| c < min_count)
-            .map(|(&k, _)| k)
-            .collect();
+        let deficient: Vec<(UserId, SiloId)> =
+            counts.iter().filter(|&(_, &c)| c < min_count).map(|(&k, _)| k).collect();
         // Users entirely absent are acceptable (they simply do not participate).
         if deficient.is_empty() {
             break;
@@ -210,9 +207,7 @@ pub fn enforce_min_records_per_pair(
                 .map(|(&k, _)| k);
             let Some(donor) = donor else { continue };
             // move one record from donor to pair
-            if let Some(slot) = placements
-                .iter_mut()
-                .find(|p| **p == (donor.0, donor.1)) {
+            if let Some(slot) = placements.iter_mut().find(|p| **p == (donor.0, donor.1)) {
                 *slot = pair;
                 *counts.get_mut(&donor).unwrap() -= 1;
                 *counts.entry(pair).or_default() += 1;

@@ -54,14 +54,24 @@ fn class_means(dim: usize, separation: f64) -> (Vec<f64>, Vec<f64>) {
     let mut legit = vec![0.0; dim];
     let mut fraud = vec![0.0; dim];
     for i in 0..dim {
-        let direction = if i % 3 == 0 { 1.0 } else if i % 3 == 1 { -0.5 } else { 0.25 };
+        let direction = if i % 3 == 0 {
+            1.0
+        } else if i % 3 == 1 {
+            -0.5
+        } else {
+            0.25
+        };
         legit[i] = -direction * separation / 2.0;
         fraud[i] = direction * separation / 2.0;
     }
     (legit, fraud)
 }
 
-fn sample_record<R: Rng + ?Sized>(rng: &mut R, cfg: &CreditcardConfig, means: &(Vec<f64>, Vec<f64>)) -> Sample {
+fn sample_record<R: Rng + ?Sized>(
+    rng: &mut R,
+    cfg: &CreditcardConfig,
+    means: &(Vec<f64>, Vec<f64>),
+) -> Sample {
     let is_fraud = rng.gen_bool(cfg.fraud_rate);
     let mean = if is_fraud { &means.1 } else { &means.0 };
     let features: Vec<f64> = mean.iter().map(|&m| m + gaussian(rng)).collect();
@@ -72,13 +82,8 @@ fn sample_record<R: Rng + ?Sized>(rng: &mut R, cfg: &CreditcardConfig, means: &(
 pub fn generate<R: Rng + ?Sized>(rng: &mut R, cfg: &CreditcardConfig) -> FederatedDataset {
     assert!(cfg.dim >= 1 && cfg.train_records >= 1);
     let means = class_means(cfg.dim, cfg.class_separation);
-    let placement = allocate_free(
-        rng,
-        cfg.train_records,
-        cfg.num_users,
-        cfg.num_silos,
-        cfg.allocation,
-    );
+    let placement =
+        allocate_free(rng, cfg.train_records, cfg.num_users, cfg.num_silos, cfg.allocation);
     let records: Vec<FederatedRecord> = placement
         .placements
         .iter()
@@ -88,7 +93,8 @@ pub fn generate<R: Rng + ?Sized>(rng: &mut R, cfg: &CreditcardConfig) -> Federat
             silo,
         })
         .collect();
-    let test: Vec<Sample> = (0..cfg.test_records).map(|_| sample_record(rng, cfg, &means)).collect();
+    let test: Vec<Sample> =
+        (0..cfg.test_records).map(|_| sample_record(rng, cfg, &means)).collect();
     FederatedDataset::new(
         format!("creditcard-{}-U{}", cfg.allocation.label(), cfg.num_users),
         cfg.num_silos,
@@ -120,11 +126,7 @@ mod tests {
     fn labels_are_imbalanced() {
         let mut rng = StdRng::seed_from_u64(1);
         let d = generate(&mut rng, &CreditcardConfig::default());
-        let fraud = d
-            .records
-            .iter()
-            .filter(|r| r.sample.target.class() == Some(1))
-            .count() as f64
+        let fraud = d.records.iter().filter(|r| r.sample.target.class() == Some(1)).count() as f64
             / d.num_records() as f64;
         assert!(fraud > 0.05 && fraud < 0.30, "fraud rate {fraud}");
     }
@@ -170,12 +172,8 @@ mod tests {
         for v in mean1.iter_mut() {
             *v /= n1;
         }
-        let dist: f64 = mean0
-            .iter()
-            .zip(mean1.iter())
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt();
+        let dist: f64 =
+            mean0.iter().zip(mean1.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
         assert!(dist > 1.0, "class means too close: {dist}");
     }
 }

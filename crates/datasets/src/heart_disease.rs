@@ -46,11 +46,7 @@ impl Default for HeartDiseaseConfig {
     }
 }
 
-fn make_sample<R: Rng + ?Sized>(
-    rng: &mut R,
-    cfg: &HeartDiseaseConfig,
-    silo: usize,
-) -> Sample {
+fn make_sample<R: Rng + ?Sized>(rng: &mut R, cfg: &HeartDiseaseConfig, silo: usize) -> Sample {
     let label = rng.gen_bool(0.45) as usize;
     let sign = if label == 1 { 1.0 } else { -1.0 };
     let features: Vec<f64> = (0..cfg.dim)
@@ -121,11 +117,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let d = generate(&mut rng, &HeartDiseaseConfig::default());
         for s in 0..4 {
-            let labels: std::collections::HashSet<usize> = d
-                .silo_records(s)
-                .iter()
-                .map(|r| r.sample.target.class().unwrap())
-                .collect();
+            let labels: std::collections::HashSet<usize> =
+                d.silo_records(s).iter().map(|r| r.sample.target.class().unwrap()).collect();
             assert_eq!(labels.len(), 2, "silo {s} is single-class");
         }
     }

@@ -12,7 +12,7 @@
 //! privacy accounting only interact with that structure, so the qualitative shapes of the
 //! paper's figures are preserved.
 //!
-//! * [`schema`] — [`FederatedDataset`](schema::FederatedDataset): train records tagged
+//! * [`schema`] — [`FederatedDataset`]: train records tagged
 //!   with `(user, silo)`, a held-out test set, and histogram helpers (`n_{s,u}`, `N_u`).
 //! * [`allocation`] — the `uniform` and `zipf` allocation schemes, in both the
 //!   "free silo assignment" variant (Creditcard, MNIST) and the "fixed silo sizes"

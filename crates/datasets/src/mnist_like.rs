@@ -85,13 +85,8 @@ fn sample_with_label<R: Rng + ?Sized>(
 pub fn generate<R: Rng + ?Sized>(rng: &mut R, cfg: &MnistConfig) -> FederatedDataset {
     assert!(cfg.classes >= 2 && cfg.dim >= cfg.classes);
     let protos = prototypes(cfg);
-    let placement = allocate_free(
-        rng,
-        cfg.train_records,
-        cfg.num_users,
-        cfg.num_silos,
-        cfg.allocation,
-    );
+    let placement =
+        allocate_free(rng, cfg.train_records, cfg.num_users, cfg.num_silos, cfg.allocation);
     // In the non-iid variant each user draws labels only from a fixed pair.
     let user_label_pairs: Vec<(usize, usize)> = (0..cfg.num_users)
         .map(|_| {
@@ -157,7 +152,8 @@ mod tests {
     #[test]
     fn non_iid_restricts_labels_per_user() {
         let mut rng = StdRng::seed_from_u64(1);
-        let cfg = MnistConfig { non_iid: true, num_users: 20, train_records: 4000, ..Default::default() };
+        let cfg =
+            MnistConfig { non_iid: true, num_users: 20, train_records: 4000, ..Default::default() };
         let d = generate(&mut rng, &cfg);
         let mut per_user: Vec<std::collections::HashSet<usize>> =
             vec![std::collections::HashSet::new(); cfg.num_users];

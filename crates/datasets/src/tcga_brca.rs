@@ -127,7 +127,11 @@ mod tests {
     #[test]
     fn per_pair_minimum_is_enforced() {
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = TcgaBrcaConfig { num_users: 200, allocation: Allocation::zipf_default(), ..Default::default() };
+        let cfg = TcgaBrcaConfig {
+            num_users: 200,
+            allocation: Allocation::zipf_default(),
+            ..Default::default()
+        };
         let d = generate(&mut rng, &cfg);
         let hist = d.histogram();
         for (s, row) in hist.iter().enumerate() {

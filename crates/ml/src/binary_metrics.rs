@@ -176,10 +176,8 @@ mod tests {
             Sample::classification(vec![-2.0], 0),
         ];
         assert!((roc_auc(&m, &good) - 1.0).abs() < 1e-12);
-        let reversed = vec![
-            Sample::classification(vec![-2.0], 1),
-            Sample::classification(vec![2.0], 0),
-        ];
+        let reversed =
+            vec![Sample::classification(vec![-2.0], 1), Sample::classification(vec![2.0], 0)];
         assert!(roc_auc(&m, &reversed) < 1e-12);
     }
 

@@ -139,7 +139,8 @@ mod tests {
                 let x0 = crate::rng::gaussian(&mut rng);
                 let x1 = crate::rng::gaussian(&mut rng);
                 let hazard = (1.2 * x0).exp();
-                let time = -(-rand::Rng::gen_range(&mut rng, 0.0001f64..1.0)).ln_1p() / hazard + 0.01;
+                let time =
+                    -(-rand::Rng::gen_range(&mut rng, 0.0001f64..1.0)).ln_1p() / hazard + 0.01;
                 let event = rand::Rng::gen_bool(&mut rng, 0.8);
                 Sample::survival(vec![x0, x1], time, event)
             })
@@ -161,7 +162,7 @@ mod tests {
 
     #[test]
     fn fully_censored_batch_has_zero_gradient() {
-        let data = vec![
+        let data = [
             Sample::survival(vec![1.0, 0.0], 3.0, false),
             Sample::survival(vec![0.0, 1.0], 5.0, false),
         ];

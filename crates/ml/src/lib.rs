@@ -10,12 +10,12 @@
 //!   products, axpy) on `f64` slices.
 //! * [`sample`] — the record schema shared with `uldp-datasets`: feature vector plus a
 //!   classification or survival target.
-//! * [`model`] — the [`Model`](model::Model) trait (flat parameters, loss & gradient on a
+//! * [`model`] — the [`Model`] trait (flat parameters, loss & gradient on a
 //!   mini-batch) and its implementations:
-//!   [`LinearClassifier`](linear::LinearClassifier) (softmax regression, the Creditcard /
-//!   HeartDisease model scale), [`MlpClassifier`](mlp::MlpClassifier) (one-hidden-layer
+//!   [`LinearClassifier`] (softmax regression, the Creditcard /
+//!   HeartDisease model scale), [`MlpClassifier`] (one-hidden-layer
 //!   network, the ≈20k-parameter MNIST model scale) and
-//!   [`CoxRegression`](cox::CoxRegression) (the TcgaBrca survival model with Cox
+//!   [`CoxRegression`] (the TcgaBrca survival model with Cox
 //!   partial-likelihood loss).
 //! * [`optimizer`] — plain SGD with a local learning rate, as used by the paper's client
 //!   subroutines.

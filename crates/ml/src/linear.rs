@@ -161,7 +161,7 @@ mod tests {
     fn gradient_matches_finite_differences() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut m = LinearClassifier::new_random(3, 3, &mut rng);
-        let samples = vec![
+        let samples = [
             Sample::classification(vec![0.5, -1.0, 2.0], 0),
             Sample::classification(vec![1.5, 0.3, -0.7], 2),
         ];

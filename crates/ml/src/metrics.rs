@@ -124,7 +124,7 @@ mod tests {
     fn concordance_index_perfect_and_reversed() {
         let mut m = CoxRegression::new(1);
         m.set_parameters(&[1.0]); // risk increases with feature
-        // higher feature -> higher risk -> should die earlier
+                                  // higher feature -> higher risk -> should die earlier
         let good = vec![
             Sample::survival(vec![2.0], 1.0, true),
             Sample::survival(vec![1.0], 2.0, true),
@@ -145,10 +145,8 @@ mod tests {
         let mut m = CoxRegression::new(1);
         m.set_parameters(&[1.0]);
         // censored records never start a comparable pair
-        let samples = vec![
-            Sample::survival(vec![2.0], 1.0, false),
-            Sample::survival(vec![1.0], 2.0, true),
-        ];
+        let samples =
+            vec![Sample::survival(vec![2.0], 1.0, false), Sample::survival(vec![1.0], 2.0, true)];
         // only pair starting from the event at t=2 with no later record -> no comparable pairs
         assert_eq!(concordance_index(&m, &samples), 0.5);
     }

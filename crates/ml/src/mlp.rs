@@ -205,7 +205,7 @@ mod tests {
     fn gradient_matches_finite_differences() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut m = MlpClassifier::new(4, 5, 3, &mut rng);
-        let samples = vec![
+        let samples = [
             Sample::classification(vec![0.5, -1.0, 2.0, 0.1], 0),
             Sample::classification(vec![1.5, 0.3, -0.7, -1.2], 2),
             Sample::classification(vec![-0.5, 0.9, 0.2, 0.8], 1),

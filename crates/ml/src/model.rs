@@ -72,11 +72,7 @@ impl Clone for Box<dyn Model> {
 
 /// Numerically estimates the gradient of `model` at its current parameters by central
 /// finite differences. Only used by tests to validate analytic gradients.
-pub fn finite_difference_gradient(
-    model: &mut dyn Model,
-    batch: &[&Sample],
-    step: f64,
-) -> Vec<f64> {
+pub fn finite_difference_gradient(model: &mut dyn Model, batch: &[&Sample], step: f64) -> Vec<f64> {
     let original = model.parameters().to_vec();
     let n = original.len();
     let mut grad = vec![0.0; n];

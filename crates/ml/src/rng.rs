@@ -68,7 +68,7 @@ mod tests {
     #[test]
     fn zipf_prefers_small_values() {
         let mut rng = StdRng::seed_from_u64(2);
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for _ in 0..20_000 {
             counts[zipf(&mut rng, 10, 2.0) - 1] += 1;
         }

@@ -26,11 +26,7 @@ fn run_method(method: Method, dataset: &uldp_fl::datasets::FederatedDataset) -> 
     }
     let model = Box::new(LinearClassifier::new(dataset.feature_dim(), 2));
     let history = Trainer::new(config, dataset.clone(), model).run();
-    (
-        history.method.clone(),
-        history.final_accuracy().unwrap_or(f64::NAN),
-        history.final_epsilon(),
-    )
+    (history.method.clone(), history.final_accuracy().unwrap_or(f64::NAN), history.final_epsilon())
 }
 
 fn main() {

@@ -23,7 +23,8 @@ fn main() {
         .map(|_| (0..num_users).map(|_| rng.gen_range(0..8usize)).collect())
         .collect();
 
-    let config = ProtocolConfig { paillier_bits: 1024, dh_bits: 512, n_max: 64, ..Default::default() };
+    let config =
+        ProtocolConfig { paillier_bits: 1024, dh_bits: 512, n_max: 64, ..Default::default() };
     println!(
         "setup: {} silos, {} users, {}-bit Paillier modulus requested",
         num_silos, num_users, config.paillier_bits
@@ -54,9 +55,8 @@ fn main() {
                 .collect()
         })
         .collect();
-    let noises: Vec<Vec<f64>> = (0..num_silos)
-        .map(|_| (0..dim).map(|_| rng.gen_range(-0.01..0.01)).collect())
-        .collect();
+    let noises: Vec<Vec<f64>> =
+        (0..num_silos).map(|_| (0..dim).map(|_| rng.gen_range(-0.01..0.01)).collect()).collect();
 
     let (secure, timings) = protocol.weighting_round(&clipped_deltas, &noises, None, &mut rng);
     let reference = protocol.plaintext_reference(&clipped_deltas, &noises, None);
@@ -70,12 +70,11 @@ fn main() {
         timings.total()
     );
 
-    let max_err = secure
-        .iter()
-        .zip(reference.iter())
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let max_err =
+        secure.iter().zip(reference.iter()).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     println!("\nmax |secure - plaintext| = {max_err:.3e} (precision P = {})", config.precision);
     assert!(max_err < 1e-6, "protocol output diverged from the plaintext aggregation");
-    println!("correctness check passed: the encrypted aggregate matches the plaintext weighted sum.");
+    println!(
+        "correctness check passed: the encrypted aggregate matches the plaintext weighted sum."
+    );
 }

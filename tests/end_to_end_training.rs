@@ -174,11 +174,8 @@ fn enhanced_weighting_helps_under_skew() {
     // Figure 8's qualitative claim: under a zipf allocation ULDP-AVG-w converges at least
     // as well as uniform ULDP-AVG (compare noiseless losses to isolate the weighting bias).
     let dataset = small_creditcard(Allocation::zipf_default());
-    let mut uniform_cfg = config_for(
-        Method::UldpAvg { weighting: WeightingStrategy::Uniform },
-        dataset.num_silos,
-        6,
-    );
+    let mut uniform_cfg =
+        config_for(Method::UldpAvg { weighting: WeightingStrategy::Uniform }, dataset.num_silos, 6);
     uniform_cfg.sigma = 0.0;
     uniform_cfg.eval_every = 6;
     let mut weighted_cfg = config_for(

@@ -89,7 +89,7 @@ fn membership_inference_advantage_is_larger_without_dp() {
 fn momentum_sgd_trains_a_classifier() {
     // The momentum optimiser is an ablation utility; verify it interoperates with the
     // model trait and actually learns.
-    let data = vec![
+    let data = [
         Sample::classification(vec![2.0, 1.0], 1),
         Sample::classification(vec![1.5, 2.0], 1),
         Sample::classification(vec![-2.0, -1.0], 0),

@@ -152,12 +152,12 @@ proptest! {
         };
         let values: Vec<BigUint> = (0..num_silos).map(|i| BigUint::from_u64(1000 + i as u64)).collect();
         let mut total = BigUint::zero();
-        for s in 0..num_silos {
+        for (s, value) in values.iter().enumerate() {
             let masks: Vec<(usize, BigUint)> = (0..num_silos)
                 .filter(|&o| o != s)
                 .map(|o| (o, MaskGenerator::new(seed(s, o), modulus.clone()).mask(round, index)))
                 .collect();
-            let masked = apply_pairwise_masks(&values[s], s, &masks, &modulus);
+            let masked = apply_pairwise_masks(value, s, &masks, &modulus);
             total = mod_add(&total, &masked, &modulus);
         }
         let expected = values.iter().fold(BigUint::zero(), |acc, v| mod_add(&acc, v, &modulus));

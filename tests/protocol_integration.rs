@@ -4,8 +4,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use uldp_fl::core::{PrivateWeightingProtocol, ProtocolConfig, WeightingStrategy};
 use uldp_fl::core::WeightMatrix;
+use uldp_fl::core::{PrivateWeightingProtocol, ProtocolConfig, WeightingStrategy};
 use uldp_fl::datasets::heart_disease::{self, HeartDiseaseConfig};
 use uldp_fl::datasets::Allocation;
 
@@ -32,10 +32,8 @@ fn random_deltas(
                 .collect()
         })
         .collect();
-    let noises = histogram
-        .iter()
-        .map(|_| (0..dim).map(|_| rng.gen_range(-0.05..0.05)).collect())
-        .collect();
+    let noises =
+        histogram.iter().map(|_| (0..dim).map(|_| rng.gen_range(-0.05..0.05)).collect()).collect();
     (deltas, noises)
 }
 

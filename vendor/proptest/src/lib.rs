@@ -1,0 +1,134 @@
+//! # proptest (in-tree shim)
+//!
+//! The build environment has no crates.io access, so this crate implements the slice of
+//! the `proptest` API used by `tests/property_tests.rs`:
+//!
+//! * [`strategy::Strategy`] — implemented for integer/float ranges, `RangeFrom`,
+//!   tuples, references and [`collection::vec`],
+//! * [`arbitrary::any`] — full-domain integers and `bool`,
+//! * [`test_runner::TestRunner`] / [`test_runner::ProptestConfig`] — a deterministic
+//!   runner (fixed seed, no shrinking: a failing case reports its inputs via `Debug`
+//!   instead of minimising them),
+//! * the [`proptest!`], [`prop_assert!`] and [`prop_assert_eq!`] macros.
+//!
+//! Swap the upstream crate back in via `[workspace.dependencies]` to regain shrinking
+//! and a larger strategy vocabulary.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }` item becomes a
+/// `#[test]` that samples its strategies `cases` times and runs the body per sample.
+#[macro_export]
+macro_rules! proptest {
+    (@impl $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new($cfg);
+                let result = runner.run(&($($strat,)+), |($($pat,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+                if let ::core::result::Result::Err(e) = result {
+                    panic!("{}", e);
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test, failing the current case (not the whole
+/// process) by returning `Err(TestCaseError)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property test; both sides must implement `Debug`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property test; both sides must implement `Debug`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left != *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -2.0f64..2.0, z in 1u128..) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!(z >= 1);
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(0u64..5, 2..6), w in prop::collection::vec(any::<u64>(), 3)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert_eq!(w.len(), 3);
+            for e in &v { prop_assert!(*e < 5); }
+        }
+    }
+
+    #[test]
+    fn runner_reports_failures() {
+        let mut runner = crate::test_runner::TestRunner::default();
+        let result = runner.run(&(0u64..10,), |(x,)| {
+            prop_assert!(x < 5, "x too large: {x}");
+            Ok(())
+        });
+        assert!(result.is_err(), "a case with x >= 5 must fail");
+    }
+}

@@ -1,0 +1,109 @@
+//! The deterministic case runner: [`ProptestConfig`], [`TestRunner`], error types.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration (a subset of upstream's `Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; the shim uses fewer because debug-profile bigint
+        // arithmetic dominates the workspace's property suite.
+        ProptestConfig { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` samples per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Upstream alias: `proptest::test_runner::Config`.
+pub type Config = ProptestConfig;
+
+/// A single failing (or rejected) case.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Fails the current case with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+
+    /// Upstream-compatible alias for [`TestCaseError::fail`].
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::fail(message)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// A whole property failing: which case, and why.
+#[derive(Clone, Debug)]
+pub struct TestError {
+    /// Index of the failing case.
+    pub case: u32,
+    /// Failure message (includes the sampled inputs when `Debug` is available).
+    pub message: String,
+}
+
+impl std::fmt::Display for TestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "property failed at case {}: {}", self.case, self.message)
+    }
+}
+
+impl std::error::Error for TestError {}
+
+/// Samples strategies and runs the property body per case.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: StdRng,
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        Self::new(ProptestConfig::default())
+    }
+}
+
+impl TestRunner {
+    /// A runner with the given config and a fixed deterministic seed.
+    pub fn new(config: ProptestConfig) -> Self {
+        // Fixed seed: properties must hold for all inputs, so determinism beats novelty,
+        // and failures reproduce across runs.
+        TestRunner { config, rng: StdRng::seed_from_u64(0x1d_5ee1) }
+    }
+
+    /// Runs `test` against `config.cases` samples of `strategy`.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F) -> Result<(), TestError>
+    where
+        S: Strategy,
+        S::Value: std::fmt::Debug,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        for case in 0..self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            let rendered = format!("{value:?}");
+            if let Err(e) = test(value) {
+                return Err(TestError { case, message: format!("{e}\n  inputs: {rendered}") });
+            }
+        }
+        Ok(())
+    }
+}

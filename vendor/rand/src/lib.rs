@@ -1,0 +1,259 @@
+//! # rand (in-tree shim)
+//!
+//! The build environment for this repository has no access to crates.io, so this crate
+//! re-implements the small slice of the `rand` 0.8 API that the Uldp-FL workspace uses:
+//!
+//! * [`RngCore`] / [`Rng`] with `gen`, `gen_range`, `gen_bool` and `fill`,
+//! * [`SeedableRng`] with the `seed_from_u64` convenience constructor,
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator (upstream uses ChaCha12;
+//!   both are deterministic per seed, which is all the workspace relies on),
+//! * [`seq::SliceRandom`] — Fisher–Yates `shuffle` and `choose`,
+//! * [`distributions::Standard`] / [`distributions::Distribution`].
+//!
+//! Streams produced under a given seed differ from upstream `rand`, so tests must assert
+//! *properties* of sampled data rather than golden values. Swap back to the upstream crate
+//! by pointing the `rand` entry of `[workspace.dependencies]` at crates.io.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+pub use distributions::{Distribution, Standard};
+
+/// The core of a random number generator: raw word and byte output.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// Panics when `p` is outside `[0, 1]`, matching upstream `rand` — a misconfigured
+    /// sampling rate must fail loudly, not silently train with the wrong privacy budget.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1], got {p}");
+        self.gen::<f64>() < p
+    }
+
+    /// Fills `dest` with random bytes (convenience alias for [`RngCore::fill_bytes`]).
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A reproducible generator constructed from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The fixed-size byte seed.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix64(&mut sm).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A range that can be sampled uniformly, mirroring `rand::distributions::uniform`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide);
+                self.start.wrapping_add(<$wide>::draw_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as $wide).wrapping_sub(start as $wide).wrapping_add(1);
+                if span == 0 {
+                    // Full integer domain: every draw is valid.
+                    return <$wide>::draw(rng) as $t;
+                }
+                start.wrapping_add(<$wide>::draw_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeFrom<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                // Rejection sampling; starts near the domain minimum in practice.
+                loop {
+                    let v = <$wide>::draw(rng) as $t;
+                    if v >= self.start {
+                        return v;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+trait DrawWide: Sized {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+
+    /// Uniform draw in `[0, span)` via rejection sampling (no modulo bias).
+    fn draw_below<R: RngCore + ?Sized>(rng: &mut R, span: Self) -> Self;
+}
+
+macro_rules! impl_draw_wide {
+    ($t:ty, $draw:expr) => {
+        impl DrawWide for $t {
+            fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                $draw(rng)
+            }
+
+            fn draw_below<R: RngCore + ?Sized>(rng: &mut R, span: Self) -> Self {
+                debug_assert!(span > 0);
+                // Accept draws below the largest multiple of `span`; each residue class
+                // is then equally likely. Rejection probability is < span / 2^BITS.
+                let limit = <$t>::MAX - <$t>::MAX % span;
+                loop {
+                    let v = Self::draw(rng);
+                    if v < limit {
+                        return v % span;
+                    }
+                }
+            }
+        }
+    };
+}
+impl_draw_wide!(u64, |rng: &mut R| rng.next_u64());
+impl_draw_wide!(u128, |rng: &mut R| ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128);
+
+impl_int_range!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64,
+    u128 => u128, i128 => u128,
+);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let unit: $t = Standard.sample(rng);
+                self.start + (self.end - self.start) * unit
+            }
+        }
+    )*};
+}
+impl_float_range!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.5f64..0.5);
+            assert!((-2.5..0.5).contains(&f));
+            let n = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&n));
+            let w = rng.gen_range(1u128..);
+            assert!(w >= 1);
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn fill_changes_buffer() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buf = [0u8; 32];
+        rng.fill(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

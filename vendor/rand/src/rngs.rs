@@ -1,0 +1,73 @@
+//! Concrete generators. [`StdRng`] is the only one the workspace uses.
+
+use crate::{RngCore, SeedableRng};
+
+/// A deterministic, seedable pseudo-random generator (xoshiro256++).
+///
+/// Upstream `rand` backs `StdRng` with ChaCha12; this shim uses xoshiro256++, which is
+/// far smaller, has a 256-bit state, passes BigCrush, and is equally deterministic per
+/// seed. It is **not** cryptographically secure, and unlike ChaCha its state is
+/// recoverable from a short output prefix: Paillier/DH key material drawn from it is
+/// suitable for this repository's reproducible benchmarks, not for production use.
+/// (Only mask expansion and DH shared-seed derivation in `uldp-crypto` additionally
+/// pass through SHA-256.)
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    #[inline]
+    fn rotl(x: u64, k: u32) -> u64 {
+        x.rotate_left(k)
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = Self::rotl(self.s[3], 45);
+        result
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        if s.iter().all(|&w| w == 0) {
+            // The all-zero state is a fixed point of xoshiro; remap it.
+            let mut sm = 0x9E37_79B9_7F4A_7C15u64;
+            for word in s.iter_mut() {
+                *word = crate::splitmix64(&mut sm);
+            }
+        }
+        StdRng { s }
+    }
+}

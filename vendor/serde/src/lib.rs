@@ -1,0 +1,16 @@
+//! # serde (in-tree shim)
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as forward-looking markers
+//! on its config / history / dataset types — nothing serializes yet (there is no
+//! `serde_json` in the build environment). This shim therefore provides the two trait
+//! names and derive macros with the upstream import paths, so the annotated types keep
+//! compiling unchanged and the real `serde` can be swapped back in via
+//! `[workspace.dependencies]` once a registry is reachable.
+
+/// Marker for types that can be serialized (no-op in the shim).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized (no-op in the shim).
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,50 @@
+//! Derive macros for the in-tree serde shim. They scan the item for its name and emit an
+//! empty impl of the corresponding marker trait. Generic types are intentionally not
+//! supported — the workspace derives serde only on concrete structs/enums, and an error
+//! here is a prompt to extend the shim (or restore the upstream crates).
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn item_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                match iter.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        let name = name.to_string();
+                        if let Some(TokenTree::Punct(p)) = iter.next() {
+                            if p.as_char() == '<' {
+                                panic!(
+                                    "serde shim: generic type `{name}` is not supported; \
+                                     extend vendor/serde_derive or restore upstream serde"
+                                );
+                            }
+                        }
+                        return name;
+                    }
+                    other => panic!("serde shim: expected type name after `{kw}`, got {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde shim: derive input is not a struct or enum");
+}
+
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let name = item_name(input);
+    format!("impl serde::{trait_name} for {name} {{}}").parse().unwrap()
+}
+
+/// Emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+/// Emits `impl serde::Deserialize for T {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
