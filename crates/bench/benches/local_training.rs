@@ -71,16 +71,17 @@ fn bench_full_rounds(c: &mut Criterion) {
             ..Default::default()
         };
         let weights = WeightMatrix::uniform(data.num_silos, data.num_users);
+        let rt = uldp_runtime::Runtime::global();
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut model: Box<dyn Model> =
                     Box::new(LinearClassifier::new(data.feature_dim(), 2));
                 match method {
                     Method::Default => {
-                        algorithms::default::run_round(&mut model, &data, &config, 1)
+                        algorithms::default::run_round(&rt, &mut model, &data, &config, 1)
                     }
                     Method::UldpAvg { .. } => algorithms::uldp_avg::run_round(
-                        &mut model, &data, &config, &weights, 1.0, 1,
+                        &rt, &mut model, &data, &config, &weights, 1.0, 1,
                     ),
                     _ => unreachable!(),
                 }

@@ -8,7 +8,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use uldp_bigint::modular::mod_pow;
 use uldp_bigint::BigUint;
-use uldp_crypto::paillier::PaillierKeyPair;
+use uldp_crypto::paillier::{Ciphertext, PaillierKeyPair};
+use uldp_runtime::Runtime;
 
 fn bench_paillier(c: &mut Criterion) {
     let mut group = c.benchmark_group("paillier");
@@ -36,6 +37,39 @@ fn bench_paillier(c: &mut Criterion) {
     group.finish();
 }
 
+/// The Paillier batch APIs on a 1-thread and on the global runtime. `encrypt_batch` is
+/// Protocol 1's step 2.(a) path; `scalar_mul_batch`/`sum_par` are the standalone batch
+/// forms of the primitives the protocol fuses into its 2.(b)/2.(c) loops — this measures
+/// the primitives' per-item cost and pooled scaling, not the protocol's fused loops (the
+/// figure binaries time those).
+fn bench_paillier_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paillier_batch");
+    group.sample_size(10);
+    let bits = 512usize;
+    let mut rng = StdRng::seed_from_u64(5);
+    let kp = PaillierKeyPair::generate(&mut rng, bits);
+    let plaintexts: Vec<BigUint> = (0..64u64).map(BigUint::from_u64).collect();
+    let ciphertexts: Vec<Ciphertext> =
+        plaintexts.iter().map(|m| kp.public.encrypt(&mut rng, m)).collect();
+    let pairs: Vec<(&Ciphertext, BigUint)> = ciphertexts
+        .iter()
+        .enumerate()
+        .map(|(i, ct)| (ct, BigUint::from_u64(1000 + i as u64)))
+        .collect();
+    for (name, rt) in [("seq", Runtime::handle(1)), ("pooled", Runtime::global())] {
+        group.bench_with_input(BenchmarkId::new("encrypt_batch_64", name), &name, |b, _| {
+            b.iter(|| kp.public.encrypt_batch(&rt, [7, 8, 9, 10], &plaintexts))
+        });
+        group.bench_with_input(BenchmarkId::new("scalar_mul_batch_64", name), &name, |b, _| {
+            b.iter(|| kp.public.scalar_mul_batch(&rt, &pairs))
+        });
+        group.bench_with_input(BenchmarkId::new("sum_par_64", name), &name, |b, _| {
+            b.iter(|| kp.public.sum_par(&rt, &ciphertexts))
+        });
+    }
+    group.finish();
+}
+
 fn bench_modpow(c: &mut Criterion) {
     let mut group = c.benchmark_group("modpow");
     group.sample_size(10);
@@ -51,5 +85,5 @@ fn bench_modpow(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_paillier, bench_modpow);
+criterion_group!(benches, bench_paillier, bench_paillier_batch, bench_modpow);
 criterion_main!(benches);

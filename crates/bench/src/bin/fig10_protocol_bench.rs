@@ -7,6 +7,11 @@
 //! histogram preparation (setup) and of the per-round phases (server encryption, silo-side
 //! weighted encryption — the paper's "local training" overhead — and aggregation).
 //!
+//! Every round is executed twice — on the pooled runtime (`ULDP_THREADS` / available
+//! parallelism) and on a 1-thread runtime — and the aggregates are asserted
+//! bitwise-identical; the speedup and the per-phase timings are appended to
+//! `BENCH_protocol.json` ([`uldp_bench::report`]).
+//!
 //! The Paillier key size defaults to 768 bits at quick scale and 3072 bits (the paper's
 //! security level) at full scale; the table reports the size actually used.
 //!
@@ -16,11 +21,14 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use uldp_bench::{millis, print_table, ResultRow, Scale};
+use uldp_bench::{
+    millis, pooled_vs_sequential_round, print_table, BenchEntry, BenchSection, ResultRow, Scale,
+};
 use uldp_core::{PrivateWeightingProtocol, ProtocolConfig};
 use uldp_datasets::heart_disease::{self, HeartDiseaseConfig};
 use uldp_datasets::tcga_brca::{self, TcgaBrcaConfig};
 use uldp_datasets::{Allocation, FederatedDataset};
+use uldp_runtime::Runtime;
 
 fn bench_scenario(
     name: &str,
@@ -28,7 +36,7 @@ fn bench_scenario(
     model_params: usize,
     paillier_bits: usize,
     rng: &mut StdRng,
-) -> ResultRow {
+) -> (ResultRow, BenchEntry) {
     let histogram = dataset.histogram();
     let n_max = dataset.max_records_per_user().next_power_of_two().max(64) as u64;
     let config = ProtocolConfig {
@@ -58,7 +66,12 @@ fn bench_scenario(
     let noises: Vec<Vec<f64>> = (0..dataset.num_silos)
         .map(|_| (0..model_params).map(|_| rng.gen_range(-0.01..0.01)).collect())
         .collect();
-    let (aggregate, round) = protocol.weighting_round(&deltas, &noises, None, rng);
+
+    // Pooled round and a 1-thread round from an identically-seeded RNG clone: the
+    // aggregates must match bit for bit (the runtime's determinism guarantee).
+    let (protocol, cmp) = pooled_vs_sequential_round(protocol, &deltas, &noises, rng);
+    let (aggregate, round, seq_round) = (&cmp.aggregate, &cmp.timings, &cmp.seq_timings);
+
     let reference = protocol.plaintext_reference(&deltas, &noises, None);
     let max_err =
         aggregate.iter().zip(reference.iter()).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
@@ -73,8 +86,19 @@ fn bench_scenario(
     row.push_f64("srv enc ms", millis(round.server_encryption));
     row.push_f64("silo enc ms", millis(round.silo_weighting));
     row.push_f64("agg ms", millis(round.aggregation));
+    row.push_f64("speedup", cmp.speedup);
     row.push_str("max err", format!("{max_err:.1e}"));
-    row
+
+    let mut entry = BenchEntry::new(name);
+    entry
+        .phase("setup", millis(setup.total()))
+        .phase("srv_enc", millis(round.server_encryption))
+        .phase("silo_enc", millis(round.silo_weighting))
+        .phase("agg", millis(round.aggregation))
+        .phase("round_seq", millis(seq_round.total()));
+    entry.speedup_vs_sequential = Some(cmp.speedup);
+    entry.max_err = Some(max_err);
+    (row, entry)
 }
 
 fn main() {
@@ -82,13 +106,15 @@ fn main() {
     let paillier_bits = scale.pick(768, 3072);
     let user_counts = [10usize, scale.pick(40, 100)];
     let mut rng = StdRng::seed_from_u64(10);
+    let threads = Runtime::global().threads();
 
     println!(
-        "Figure 10 — private weighting protocol on FL benchmark scenarios ({}–bit Paillier)",
-        paillier_bits
+        "Figure 10 — private weighting protocol on FL benchmark scenarios \
+         ({paillier_bits}–bit Paillier, {threads} threads)"
     );
 
     let mut rows = Vec::new();
+    let mut section = BenchSection::new("fig10_protocol_bench", threads, paillier_bits);
     for &num_users in &user_counts {
         let heart = heart_disease::generate(
             &mut rng,
@@ -98,13 +124,15 @@ fn main() {
                 ..Default::default()
             },
         );
-        rows.push(bench_scenario(
+        let (row, entry) = bench_scenario(
             &format!("HeartDisease |U|={num_users}"),
             &heart,
             scale.pick(30, 60),
             paillier_bits,
             &mut rng,
-        ));
+        );
+        rows.push(row);
+        section.entries.push(entry);
 
         let tcga = tcga_brca::generate(
             &mut rng,
@@ -114,15 +142,21 @@ fn main() {
                 ..Default::default()
             },
         );
-        rows.push(bench_scenario(
+        let (row, entry) = bench_scenario(
             &format!("TcgaBrca |U|={num_users}"),
             &tcga,
             scale.pick(39, 39),
             paillier_bits,
             &mut rng,
-        ));
+        );
+        rows.push(row);
+        section.entries.push(entry);
     }
     print_table("Figure 10: protocol execution time per phase", &rows);
+    match section.write() {
+        Ok(path) => println!("\nWrote machine-readable timings to {}", path.display()),
+        Err(e) => eprintln!("\nFailed to write benchmark JSON: {e}"),
+    }
     println!(
         "\nExpected shape (paper): the silo-side weighted encryption (the paper's 'local\n\
          training' bar) dominates and grows with the number of users; key exchange and\n\

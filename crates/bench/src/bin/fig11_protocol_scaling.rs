@@ -5,14 +5,21 @@
 //! user counts swept from 10 to 40. Reports the per-phase wall-clock time of one weighting
 //! round; the dominant silo-side encryption must grow linearly in both sweeps.
 //!
+//! Every round also runs on a 1-thread runtime to verify bitwise-identical aggregates and
+//! measure the pooled speedup; all timings land in `BENCH_protocol.json`
+//! ([`uldp_bench::report`]).
+//!
 //! ```bash
 //! cargo run --release -p uldp-bench --bin fig11_protocol_scaling
 //! ```
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use uldp_bench::{millis, print_table, ResultRow, Scale};
+use uldp_bench::{
+    millis, pooled_vs_sequential_round, print_table, BenchEntry, BenchSection, ResultRow, Scale,
+};
 use uldp_core::{PrivateWeightingProtocol, ProtocolConfig};
+use uldp_runtime::Runtime;
 
 fn random_histogram(rng: &mut StdRng, num_silos: usize, num_users: usize) -> Vec<Vec<usize>> {
     (0..num_silos).map(|_| (0..num_users).map(|_| rng.gen_range(1..8usize)).collect()).collect()
@@ -25,7 +32,7 @@ fn one_round(
     params: usize,
     paillier_bits: usize,
     rng: &mut StdRng,
-) -> ResultRow {
+) -> (ResultRow, BenchEntry) {
     let histogram = random_histogram(rng, num_silos, num_users);
     let config = ProtocolConfig {
         paillier_bits,
@@ -43,7 +50,10 @@ fn one_round(
         .collect();
     let noises: Vec<Vec<f64>> =
         (0..num_silos).map(|_| (0..params).map(|_| rng.gen_range(-0.01..0.01)).collect()).collect();
-    let (_, timings) = protocol.weighting_round(&deltas, &noises, None, rng);
+
+    let (protocol, cmp) = pooled_vs_sequential_round(protocol, &deltas, &noises, rng);
+    let (timings, seq_timings) = (&cmp.timings, &cmp.seq_timings);
+
     let setup = protocol.setup_timings();
     let mut row = ResultRow::new(label);
     row.push_str("key bits", protocol.modulus_bits().to_string());
@@ -52,24 +62,41 @@ fn one_round(
     row.push_f64("silo enc ms", millis(timings.silo_weighting));
     row.push_f64("agg ms", millis(timings.aggregation));
     row.push_f64("round ms", millis(timings.total()));
-    row
+    row.push_f64("speedup", cmp.speedup);
+
+    let mut entry = BenchEntry::new(label);
+    entry
+        .phase("key_exch", millis(setup.key_exchange))
+        .phase("srv_enc", millis(timings.server_encryption))
+        .phase("silo_enc", millis(timings.silo_weighting))
+        .phase("agg", millis(timings.aggregation))
+        .phase("round", millis(timings.total()))
+        .phase("round_seq", millis(seq_timings.total()));
+    entry.speedup_vs_sequential = Some(cmp.speedup);
+    (row, entry)
 }
 
 fn main() {
     let scale = Scale::from_env();
     let paillier_bits = scale.pick(512, 3072);
     let mut rng = StdRng::seed_from_u64(11);
+    let threads = Runtime::global().threads();
 
     println!(
-        "Figure 11 — private weighting protocol scaling (3 silos, {}–bit Paillier)",
-        paillier_bits
+        "Figure 11 — private weighting protocol scaling \
+         (3 silos, {paillier_bits}–bit Paillier, {threads} threads)"
     );
+
+    let mut section = BenchSection::new("fig11_protocol_scaling", threads, paillier_bits);
 
     // Top row: parameter-count sweep at 20 users.
     let param_sweep = scale.pick(vec![16usize, 64, 256, 1024], vec![16usize, 100, 1000, 10_000]);
     let mut rows = Vec::new();
     for &params in &param_sweep {
-        rows.push(one_round(&format!("params={params}"), 3, 20, params, paillier_bits, &mut rng));
+        let (row, entry) =
+            one_round(&format!("params={params}"), 3, 20, params, paillier_bits, &mut rng);
+        rows.push(row);
+        section.entries.push(entry);
     }
     print_table("Figure 11 (top): scaling with parameter count (|U|=20)", &rows);
 
@@ -77,10 +104,17 @@ fn main() {
     let user_sweep = [10usize, 20, 30, 40];
     let mut rows = Vec::new();
     for &users in &user_sweep {
-        rows.push(one_round(&format!("users={users}"), 3, users, 16, paillier_bits, &mut rng));
+        let (row, entry) =
+            one_round(&format!("users={users}"), 3, users, 16, paillier_bits, &mut rng);
+        rows.push(row);
+        section.entries.push(entry);
     }
     print_table("Figure 11 (bottom): scaling with user count (16 parameters)", &rows);
 
+    match section.write() {
+        Ok(path) => println!("\nWrote machine-readable timings to {}", path.display()),
+        Err(e) => eprintln!("\nFailed to write benchmark JSON: {e}"),
+    }
     println!(
         "\nExpected shape (paper): the silo-side encrypted weighting dominates and grows linearly\n\
          with the parameter count and with the number of users; server aggregation grows with the\n\

@@ -1,0 +1,129 @@
+//! Release-mode smoke test of the pooled Protocol 1 runtime.
+//!
+//! Runs one full private weighting round at the acceptance-criteria workload — 512-bit
+//! Paillier, 5 silos × 200 users by default — twice: on the pooled runtime (sized by
+//! `ULDP_THREADS` / available parallelism) and on a 1-thread runtime. It then
+//!
+//! 1. asserts the two decrypted aggregates are **bitwise-identical** (the runtime's
+//!    determinism guarantee),
+//! 2. prints each aggregate coordinate as an `AGG <index> <f64-bits-hex>` line, so CI can
+//!    `diff` the output of independent processes run at different `ULDP_THREADS`,
+//! 3. reports the per-phase timings and the parallel speedup, and appends them to
+//!    `BENCH_protocol.json`.
+//!
+//! The exit code is non-zero on any mismatch. Workload knobs: `ULDP_SMOKE_SILOS`,
+//! `ULDP_SMOKE_USERS`, `ULDP_SMOKE_PARAMS`, `ULDP_SMOKE_BITS`.
+//!
+//! ```bash
+//! cargo run --release -p uldp-bench --bin protocol_smoke
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uldp_bench::{millis, pooled_vs_sequential_round, BenchEntry, BenchSection};
+use uldp_core::{PrivateWeightingProtocol, ProtocolConfig};
+use uldp_runtime::Runtime;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn main() {
+    let num_silos = env_usize("ULDP_SMOKE_SILOS", 5);
+    let num_users = env_usize("ULDP_SMOKE_USERS", 200);
+    let params = env_usize("ULDP_SMOKE_PARAMS", 8);
+    let paillier_bits = env_usize("ULDP_SMOKE_BITS", 512);
+    let threads = Runtime::global().threads();
+    println!(
+        "protocol_smoke: {num_silos} silos x {num_users} users, {params} params, \
+         {paillier_bits}-bit Paillier, {threads} threads"
+    );
+
+    // Everything below is seeded, so independent processes (at any ULDP_THREADS) must
+    // print identical AGG lines.
+    let mut rng = StdRng::seed_from_u64(1_000_003);
+    let histogram: Vec<Vec<usize>> = (0..num_silos)
+        .map(|_| (0..num_users).map(|_| rng.gen_range(0..6usize)).collect())
+        .collect();
+    let config = ProtocolConfig {
+        paillier_bits,
+        dh_bits: 0,
+        use_rfc_group: true,
+        n_max: (6 * num_silos as u64).next_power_of_two(),
+        ..Default::default()
+    };
+    let protocol = PrivateWeightingProtocol::setup(&histogram, &config, &mut rng);
+
+    let deltas: Vec<Vec<Vec<f64>>> = histogram
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|&c| {
+                    if c == 0 {
+                        Vec::new()
+                    } else {
+                        (0..params).map(|_| rng.gen_range(-0.5..0.5)).collect()
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let noises: Vec<Vec<f64>> =
+        (0..num_silos).map(|_| (0..params).map(|_| rng.gen_range(-0.01..0.01)).collect()).collect();
+
+    let (protocol, cmp) = pooled_vs_sequential_round(protocol, &deltas, &noises, &mut rng);
+    let pooled_bits: Vec<u64> = cmp.aggregate.iter().map(|v| v.to_bits()).collect();
+
+    // Sanity: the secure aggregate matches the plaintext reference.
+    let reference = protocol.plaintext_reference(&deltas, &noises, None);
+    let max_err = cmp
+        .aggregate
+        .iter()
+        .zip(reference.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(max_err < 1e-6, "secure aggregate diverges from plaintext (max err {max_err:.3e})");
+
+    for (j, bits) in pooled_bits.iter().enumerate() {
+        println!("AGG {j} {bits:016x}");
+    }
+
+    println!(
+        "pooled:     srv_enc {:9.1} ms | silo_enc {:9.1} ms | agg {:9.1} ms | total {:9.1} ms",
+        millis(cmp.timings.server_encryption),
+        millis(cmp.timings.silo_weighting),
+        millis(cmp.timings.aggregation),
+        millis(cmp.timings.total()),
+    );
+    println!(
+        "sequential: srv_enc {:9.1} ms | silo_enc {:9.1} ms | agg {:9.1} ms | total {:9.1} ms",
+        millis(cmp.seq_timings.server_encryption),
+        millis(cmp.seq_timings.silo_weighting),
+        millis(cmp.seq_timings.aggregation),
+        millis(cmp.seq_timings.total()),
+    );
+    println!("SPEEDUP {:.2}x at {threads} threads (bitwise-identical aggregates)", cmp.speedup);
+
+    // The thread count is part of the section key so CI's 1-thread and 4-thread runs both
+    // survive in the merged report instead of the second overwriting the first.
+    let mut section =
+        BenchSection::new(format!("protocol_smoke_t{threads}"), threads, paillier_bits);
+    let mut entry = BenchEntry::new(format!("silos={num_silos} users={num_users} params={params}"));
+    entry
+        .phase("srv_enc", millis(cmp.timings.server_encryption))
+        .phase("silo_enc", millis(cmp.timings.silo_weighting))
+        .phase("agg", millis(cmp.timings.aggregation))
+        .phase("round", millis(cmp.timings.total()))
+        .phase("round_seq", millis(cmp.seq_timings.total()));
+    entry.speedup_vs_sequential = Some(cmp.speedup);
+    entry.max_err = Some(max_err);
+    section.entries.push(entry);
+    match section.write() {
+        Ok(path) => println!("Wrote machine-readable timings to {}", path.display()),
+        Err(e) => eprintln!("Failed to write benchmark JSON: {e}"),
+    }
+}

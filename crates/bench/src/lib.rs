@@ -22,9 +22,17 @@
 //! (`cargo bench`) cover the crypto primitives, the per-phase protocol cost, the RDP
 //! accountant and silo-local training.
 
-use uldp_core::{FlConfig, Method, Trainer, TrainingHistory};
+pub mod report;
+
+use rand::rngs::StdRng;
+use uldp_core::{
+    FlConfig, Method, PrivateWeightingProtocol, RoundTimings, Trainer, TrainingHistory,
+};
 use uldp_datasets::FederatedDataset;
 use uldp_ml::Model;
+use uldp_runtime::Runtime;
+
+pub use report::{BenchEntry, BenchSection};
 
 /// Experiment scale selected via the `ULDP_BENCH_SCALE` environment variable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -136,6 +144,46 @@ pub fn run_training(
 /// Formats a `Duration` in milliseconds with three decimals.
 pub fn millis(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e3
+}
+
+/// Outcome of running one weighting round on the pooled runtime and again on a 1-thread
+/// runtime from an identically-seeded RNG.
+#[derive(Clone, Debug)]
+pub struct RoundComparison {
+    /// Decrypted aggregate of the pooled round (bitwise-equal to the sequential one).
+    pub aggregate: Vec<f64>,
+    /// Per-phase timings of the pooled round.
+    pub timings: RoundTimings,
+    /// Per-phase timings of the 1-thread round.
+    pub seq_timings: RoundTimings,
+    /// Wall-clock speedup of the pooled round over the sequential one.
+    pub speedup: f64,
+}
+
+/// Runs `protocol`'s weighting round twice — on its configured (pooled) runtime with
+/// `rng`, then on a 1-thread runtime from a pre-round clone of `rng` — and asserts the
+/// decrypted aggregates are bitwise-identical (the runtime's determinism guarantee).
+///
+/// Shared by `fig10_protocol_bench`, `fig11_protocol_scaling` and `protocol_smoke` so
+/// the comparison harness cannot drift between them. `rng` advances exactly as one round
+/// would; the protocol is returned with the 1-thread runtime installed.
+pub fn pooled_vs_sequential_round(
+    protocol: PrivateWeightingProtocol,
+    deltas: &[Vec<Vec<f64>>],
+    noises: &[Vec<f64>],
+    rng: &mut StdRng,
+) -> (PrivateWeightingProtocol, RoundComparison) {
+    let mut seq_rng = rng.clone();
+    let (aggregate, timings) = protocol.weighting_round(deltas, noises, None, rng);
+    let protocol = protocol.with_runtime(Runtime::handle(1));
+    let (seq_aggregate, seq_timings) = protocol.weighting_round(deltas, noises, None, &mut seq_rng);
+    assert_eq!(
+        aggregate.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        seq_aggregate.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "pooled and sequential aggregates must be bitwise-identical"
+    );
+    let speedup = seq_timings.total().as_secs_f64() / timings.total().as_secs_f64().max(1e-12);
+    (protocol, RoundComparison { aggregate, timings, seq_timings, speedup })
 }
 
 #[cfg(test)]

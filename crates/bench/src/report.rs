@@ -1,0 +1,367 @@
+//! Machine-readable benchmark output: `BENCH_protocol.json`.
+//!
+//! The figure binaries and the protocol smoke test all append their results to one JSON
+//! file so the perf trajectory of the protocol can be tracked across commits and CI runs.
+//! The file is a single top-level object keyed by section (one section per binary):
+//!
+//! ```json
+//! {
+//!   "fig11_protocol_scaling": {
+//!     "threads": 8,
+//!     "paillier_bits": 512,
+//!     "entries": [
+//!       {"label": "params=16", "phases_ms": {"srv_enc": 1.2, ...},
+//!        "speedup_vs_sequential": 3.4}
+//!     ]
+//!   }
+//! }
+//! ```
+//!
+//! Writers replace only their own section and preserve the others, so the binaries can
+//! run in any order (or individually) and still produce one coherent file; the file is
+//! replaced via an atomic rename, so interrupted writes never corrupt it (concurrent
+//! writers are last-writer-wins for the merge as a whole). No JSON
+//! dependency exists in this offline workspace, so serialisation is hand-rolled and the
+//! merge step performs structural (depth-aware) splitting of the file the writers
+//! themselves produced.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Environment variable overriding the report path (default `BENCH_protocol.json` in the
+/// current directory).
+pub const REPORT_PATH_ENV: &str = "ULDP_BENCH_JSON";
+
+/// One benchmark measurement: a label, per-phase wall-clock timings, and optional
+/// derived metrics.
+#[derive(Clone, Debug, Default)]
+pub struct BenchEntry {
+    /// Scenario label (e.g. `"HeartDisease |U|=10"` or `"params=1024"`).
+    pub label: String,
+    /// Named phase timings in milliseconds, serialised in insertion order.
+    pub phases_ms: Vec<(String, f64)>,
+    /// Wall-clock speedup of the pooled run over the same round on a 1-thread runtime.
+    pub speedup_vs_sequential: Option<f64>,
+    /// Maximum absolute error of the secure aggregate vs. the plaintext reference.
+    pub max_err: Option<f64>,
+}
+
+impl BenchEntry {
+    /// Creates an entry with a label and no measurements yet.
+    pub fn new(label: impl Into<String>) -> Self {
+        BenchEntry { label: label.into(), ..Default::default() }
+    }
+
+    /// Records one phase timing in milliseconds.
+    pub fn phase(&mut self, name: &str, ms: f64) -> &mut Self {
+        self.phases_ms.push((name.to_string(), ms));
+        self
+    }
+}
+
+/// A report section: everything one binary measured in one run.
+#[derive(Clone, Debug)]
+pub struct BenchSection {
+    /// Section key — the producing binary's name.
+    pub name: String,
+    /// Worker threads the parallel runs used.
+    pub threads: usize,
+    /// Paillier modulus size the protocol ran with.
+    pub paillier_bits: usize,
+    /// The measurements.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchSection {
+    /// Creates an empty section.
+    pub fn new(name: impl Into<String>, threads: usize, paillier_bits: usize) -> Self {
+        BenchSection { name: name.into(), threads, paillier_bits, entries: Vec::new() }
+    }
+
+    /// Serialises the section body (the value stored under the section key).
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("    \"threads\": {},\n", self.threads));
+        out.push_str(&format!("    \"paillier_bits\": {},\n", self.paillier_bits));
+        out.push_str("    \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n      {");
+            out.push_str(&format!("\"label\": {}", json_string(&e.label)));
+            out.push_str(", \"phases_ms\": {");
+            for (j, (name, ms)) in e.phases_ms.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{}: {}", json_string(name), json_number(*ms)));
+            }
+            out.push('}');
+            if let Some(s) = e.speedup_vs_sequential {
+                out.push_str(&format!(", \"speedup_vs_sequential\": {}", json_number(s)));
+            }
+            if let Some(err) = e.max_err {
+                out.push_str(&format!(", \"max_err\": {}", json_number(err)));
+            }
+            out.push('}');
+        }
+        if !self.entries.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("]\n  }");
+        out
+    }
+
+    /// Writes (or merges) this section into the report file at [`report_path`] and
+    /// returns that path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = report_path();
+        self.write_to(&path)?;
+        Ok(path)
+    }
+
+    /// Writes (or merges) this section into the report file at `path`.
+    ///
+    /// The file is replaced atomically (write to a sibling temp file, then rename), so a
+    /// reader or later writer never observes a partially-written object — an interrupted
+    /// write can therefore not reset previously accumulated sections. Concurrent writers
+    /// remain last-writer-wins for the read-modify-write as a whole.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut sections = match std::fs::read_to_string(path) {
+            Ok(existing) => split_top_level_sections(&existing),
+            Err(_) => Vec::new(),
+        };
+        let body = self.to_json();
+        match sections.iter_mut().find(|(name, _)| name == &self.name) {
+            Some((_, old)) => *old = body,
+            None => sections.push((self.name.clone(), body)),
+        }
+        let file_name = path.file_name().and_then(|n| n.to_str()).unwrap_or("BENCH_protocol");
+        let tmp = path.with_file_name(format!("{file_name}.tmp"));
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            writeln!(file, "{{")?;
+            for (i, (name, body)) in sections.iter().enumerate() {
+                let comma = if i + 1 < sections.len() { "," } else { "" };
+                writeln!(file, "  {}: {}{}", json_string(name), body, comma)?;
+            }
+            writeln!(file, "}}")?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+}
+
+/// The report path, honouring `ULDP_BENCH_JSON`.
+pub fn report_path() -> PathBuf {
+    match std::env::var(REPORT_PATH_ENV) {
+        Ok(p) if !p.trim().is_empty() => Path::new(&p).to_path_buf(),
+        _ => PathBuf::from("BENCH_protocol.json"),
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a finite float as a JSON number (non-finite values become `null`).
+///
+/// Values below the fixed-point resolution switch to exponent notation so small
+/// magnitudes (e.g. a `max_err` of `3e-9`) are not flattened to `0.000000`.
+fn json_number(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v != 0.0 && v.abs() < 1e-3 {
+        format!("{v:e}")
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+/// Splits the top-level object of a report file into `(key, raw_value)` pairs.
+///
+/// This is not a general JSON parser: it handles exactly the structure this module
+/// writes (an object of objects, with strings that use standard escapes), tracking
+/// depth and string state to find the top-level key/value boundaries. Unparseable
+/// content yields an empty list, which simply resets the file.
+fn split_top_level_sections(text: &str) -> Vec<(String, String)> {
+    let trimmed = text.trim();
+    let Some(body) = trimmed.strip_prefix('{').and_then(|t| t.strip_suffix('}')) else {
+        return Vec::new();
+    };
+    let mut sections = Vec::new();
+    let chars: Vec<char> = body.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        // find opening quote of the key
+        while i < chars.len() && chars[i] != '"' {
+            i += 1;
+        }
+        if i >= chars.len() {
+            break;
+        }
+        let (key, after_key) = match read_json_string(&chars, i) {
+            Some(parsed) => parsed,
+            None => return Vec::new(),
+        };
+        i = after_key;
+        while i < chars.len() && chars[i] != ':' {
+            i += 1;
+        }
+        i += 1; // past ':'
+        while i < chars.len() && chars[i].is_whitespace() {
+            i += 1;
+        }
+        if i >= chars.len() || chars[i] != '{' {
+            return Vec::new();
+        }
+        let start = i;
+        let mut depth = 0usize;
+        let mut in_string = false;
+        while i < chars.len() {
+            let c = chars[i];
+            if in_string {
+                if c == '\\' {
+                    i += 1; // skip the escaped character
+                } else if c == '"' {
+                    in_string = false;
+                }
+            } else {
+                match c {
+                    '"' => in_string = true,
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        if i >= chars.len() {
+            return Vec::new(); // unbalanced
+        }
+        let value: String = chars[start..=i].iter().collect();
+        sections.push((key, value));
+        i += 1;
+    }
+    sections
+}
+
+/// Reads a JSON string literal starting at the opening quote; returns the unescaped
+/// content and the index just past the closing quote.
+fn read_json_string(chars: &[char], start: usize) -> Option<(String, usize)> {
+    debug_assert_eq!(chars[start], '"');
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '"' => return Some((out, i + 1)),
+            '\\' => {
+                i += 1;
+                match chars.get(i)? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    'r' => out.push('\r'),
+                    other => out.push(*other),
+                }
+            }
+            c => out.push(c),
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_section(name: &str, threads: usize) -> BenchSection {
+        let mut section = BenchSection::new(name, threads, 512);
+        let mut entry = BenchEntry::new("users=10 \"quoted\"");
+        entry.phase("srv_enc", 1.25).phase("silo_enc", 10.5);
+        entry.speedup_vs_sequential = Some(3.2);
+        entry.max_err = Some(1e-9);
+        section.entries.push(entry);
+        section
+    }
+
+    #[test]
+    fn section_serialises_and_splits_back() {
+        let body = sample_section("fig_test", 4).to_json();
+        let file = format!("{{\n  \"fig_test\": {body}\n}}\n");
+        let sections = split_top_level_sections(&file);
+        assert_eq!(sections.len(), 1);
+        assert_eq!(sections[0].0, "fig_test");
+        assert!(sections[0].1.contains("\"threads\": 4"));
+        assert!(sections[0].1.contains("speedup_vs_sequential"));
+    }
+
+    #[test]
+    fn merge_preserves_other_sections() {
+        // write_to with an explicit path: tests must not mutate process env (racy with
+        // concurrently running tests that call getenv).
+        let dir = std::env::temp_dir().join(format!("uldp-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_protocol.json");
+        let _ = std::fs::remove_file(&path);
+
+        sample_section("alpha", 1).write_to(&path).unwrap();
+        sample_section("beta", 4).write_to(&path).unwrap();
+        // overwrite alpha; beta must survive
+        sample_section("alpha", 8).write_to(&path).unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let sections = split_top_level_sections(&text);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        assert_eq!(sections.len(), 2);
+        let alpha = sections.iter().find(|(n, _)| n == "alpha").unwrap();
+        assert!(alpha.1.contains("\"threads\": 8"));
+        let beta = sections.iter().find(|(n, _)| n == "beta").unwrap();
+        assert!(beta.1.contains("\"threads\": 4"));
+    }
+
+    #[test]
+    fn garbage_files_are_reset_not_crashed() {
+        assert!(split_top_level_sections("not json at all").is_empty());
+        assert!(split_top_level_sections("{\"a\": [1, 2]}").is_empty());
+        assert!(split_top_level_sections("{\"a\": {unbalanced").is_empty());
+    }
+
+    #[test]
+    fn json_strings_escape_controls() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_number(f64::INFINITY), "null");
+        assert_eq!(json_number(1.5), "1.500000");
+    }
+
+    #[test]
+    fn json_numbers_keep_small_magnitudes() {
+        assert_eq!(json_number(3.2e-9), "3.2e-9");
+        assert_eq!(json_number(-4.5e-7), "-4.5e-7");
+        assert_eq!(json_number(0.0), "0.000000");
+        assert_eq!(json_number(0.002), "0.002000");
+    }
+}

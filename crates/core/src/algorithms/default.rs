@@ -11,9 +11,11 @@ use crate::config::FlConfig;
 use crate::silo;
 use uldp_datasets::FederatedDataset;
 use uldp_ml::Model;
+use uldp_runtime::Runtime;
 
-/// Runs one DEFAULT round, updating `model` in place.
+/// Runs one DEFAULT round on the worker pool, updating `model` in place.
 pub fn run_round(
+    rt: &Runtime,
     model: &mut Box<dyn Model>,
     dataset: &FederatedDataset,
     config: &FlConfig,
@@ -22,7 +24,7 @@ pub fn run_round(
     let global = model.parameters().to_vec();
     let dim = global.len();
     let template = model.clone_model();
-    let deltas = map_silos(dataset.num_silos, round_seed, |silo_id, rng| {
+    let deltas = map_silos(rt, dataset.num_silos, round_seed, |silo_id, rng| {
         let mut scratch = template.clone_model();
         let records: Vec<&uldp_ml::Sample> =
             dataset.silo_records(silo_id).into_iter().map(|r| &r.sample).collect();
@@ -47,6 +49,10 @@ mod tests {
     use crate::config::{FlConfig, Method};
     use uldp_ml::metrics::accuracy;
 
+    fn rt() -> Runtime {
+        Runtime::new(2)
+    }
+
     #[test]
     fn default_round_improves_accuracy() {
         let dataset = tiny_federation(3, 10, 120);
@@ -60,7 +66,7 @@ mod tests {
         };
         let before = accuracy(model.as_ref(), &dataset.test);
         for t in 0..5 {
-            run_round(&mut model, &dataset, &config, t);
+            run_round(&rt(), &mut model, &dataset, &config, t);
         }
         let after = accuracy(model.as_ref(), &dataset.test);
         assert!(after > before.max(0.9), "accuracy {before} -> {after}");
@@ -72,8 +78,8 @@ mod tests {
         let config = FlConfig { method: Method::Default, ..Default::default() };
         let mut m1 = tiny_model();
         let mut m2 = tiny_model();
-        run_round(&mut m1, &dataset, &config, 3);
-        run_round(&mut m2, &dataset, &config, 3);
+        run_round(&rt(), &mut m1, &dataset, &config, 3);
+        run_round(&rt(), &mut m2, &dataset, &config, 3);
         assert_eq!(m1.parameters(), m2.parameters());
     }
 
@@ -84,7 +90,7 @@ mod tests {
         let dataset = tiny_federation(5, 4, 20);
         let mut model = tiny_model();
         let config = FlConfig { method: Method::Default, ..Default::default() };
-        run_round(&mut model, &dataset, &config, 0);
+        run_round(&rt(), &mut model, &dataset, &config, 0);
         assert!(model.parameters().iter().all(|p| p.is_finite()));
     }
 }

@@ -17,6 +17,7 @@ use crate::config::{FlConfig, GroupSize};
 use crate::silo;
 use uldp_datasets::FederatedDataset;
 use uldp_ml::Model;
+use uldp_runtime::Runtime;
 
 /// Resolves the configured [`GroupSize`] to a concrete `k` for a dataset.
 pub fn resolve_group_size(dataset: &FederatedDataset, group_size: GroupSize) -> u64 {
@@ -59,10 +60,14 @@ pub fn build_contribution_flags(dataset: &FederatedDataset, k: u64) -> Vec<bool>
         .collect()
 }
 
-/// Runs one ULDP-GROUP-k round, updating `model` in place.
+/// Runs one ULDP-GROUP-k round on the worker pool, updating `model` in place.
 ///
 /// `flags` must come from [`build_contribution_flags`] and stay constant across rounds.
+/// The silo-level DP-SGD loops (inherently sequential per silo: every step depends on
+/// the previous one) run as pooled per-silo tasks, including each silo's
+/// contribution-bound record filtering.
 pub fn run_round(
+    rt: &Runtime,
     model: &mut Box<dyn Model>,
     dataset: &FederatedDataset,
     config: &FlConfig,
@@ -77,7 +82,7 @@ pub fn run_round(
     let global = model.parameters().to_vec();
     let dim = global.len();
     let template = model.clone_model();
-    let deltas = map_silos(dataset.num_silos, round_seed, |silo_id, rng| {
+    let deltas = map_silos(rt, dataset.num_silos, round_seed, |silo_id, rng| {
         let mut scratch = template.clone_model();
         // D'_s: this silo's records that survive the contribution bound.
         let records: Vec<&uldp_ml::Sample> = dataset
@@ -108,6 +113,10 @@ mod tests {
     use super::*;
     use crate::algorithms::test_util::{tiny_federation, tiny_model};
     use crate::config::{FlConfig, GroupSize, Method};
+
+    fn rt() -> Runtime {
+        Runtime::new(2)
+    }
 
     #[test]
     fn flags_limit_records_per_user() {
@@ -172,7 +181,7 @@ mod tests {
         let flags =
             build_contribution_flags(&dataset, resolve_group_size(&dataset, GroupSize::Max));
         for t in 0..5 {
-            run_round(&mut model, &dataset, &config, &flags, t);
+            run_round(&rt(), &mut model, &dataset, &config, &flags, t);
         }
         let acc = uldp_ml::metrics::accuracy(model.as_ref(), &dataset.test);
         assert!(acc > 0.9, "accuracy {acc}");
@@ -187,6 +196,6 @@ mod tests {
             method: Method::UldpGroup { group_size: GroupSize::Fixed(2), sampling_rate: 0.5 },
             ..Default::default()
         };
-        run_round(&mut model, &dataset, &config, &[true, false], 0);
+        run_round(&rt(), &mut model, &dataset, &config, &[true, false], 0);
     }
 }

@@ -12,43 +12,85 @@ pub mod naive;
 pub mod uldp_avg;
 pub mod uldp_sgd;
 
+use crate::weighting::WeightMatrix;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
+use uldp_datasets::FederatedDataset;
 use uldp_ml::Model;
+use uldp_runtime::{seeding, Runtime};
 
-/// Runs `per_silo` for every silo, in parallel when there are enough silos to justify the
-/// thread overhead, and returns the per-silo results in silo order.
+/// Stream tag separating per-task training RNGs from per-silo noise RNGs within a round.
+pub(crate) const STREAM_TRAIN: u64 = 1;
+/// Stream tag for per-silo Gaussian-noise RNGs.
+pub(crate) const STREAM_NOISE: u64 = 2;
+
+/// Runs `per_silo` for every silo on the shared worker pool and returns the per-silo
+/// results in silo order.
 ///
-/// Every silo receives its own deterministic RNG derived from `base_seed` so that results
-/// do not depend on scheduling.
-pub(crate) fn map_silos<F>(num_silos: usize, base_seed: u64, per_silo: F) -> Vec<Vec<f64>>
+/// Every silo receives its own deterministic RNG derived from `(base_seed, silo)` via
+/// [`seeding::index_seed`], so results are bitwise-identical at any thread count.
+pub(crate) fn map_silos<F>(
+    rt: &Runtime,
+    num_silos: usize,
+    base_seed: u64,
+    per_silo: F,
+) -> Vec<Vec<f64>>
 where
     F: Fn(usize, &mut StdRng) -> Vec<f64> + Sync,
 {
-    let silo_seed = |s: usize| base_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(s as u64);
-    if num_silos < 2 {
-        return (0..num_silos)
-            .map(|s| {
-                let mut rng = StdRng::seed_from_u64(silo_seed(s));
-                per_silo(s, &mut rng)
-            })
-            .collect();
+    rt.par_map_seeded(num_silos, base_seed, per_silo)
+}
+
+/// The deterministic RNG for one `(silo, user)` training task of a round.
+///
+/// Seeded from the round's training stream and the user's global task index, so the
+/// stream is a pure function of `(round_seed, silo, user)` — independent of both thread
+/// count and of which other users participate in the round.
+pub(crate) fn task_rng(round_seed: u64, num_users: usize, silo: usize, user: usize) -> StdRng {
+    let task_index = (silo * num_users + user) as u64;
+    StdRng::seed_from_u64(seeding::index_seed(seeding::mix(round_seed, STREAM_TRAIN), task_index))
+}
+
+/// The deterministic RNG for silo-level Gaussian noise of a round.
+pub(crate) fn noise_rng(round_seed: u64, silo: usize) -> StdRng {
+    StdRng::seed_from_u64(seeding::index_seed(seeding::mix(round_seed, STREAM_NOISE), silo as u64))
+}
+
+/// The participating `(silo, user)` pairs of a round — users present in a silo whose
+/// weight is non-zero (i.e. sampled) — in flattened silo-major order. Shared by
+/// `uldp_avg` and `uldp_sgd`, whose parallel regions run one task per pair.
+pub(crate) fn participating_tasks(
+    dataset: &FederatedDataset,
+    weights: &WeightMatrix,
+) -> Vec<(usize, usize)> {
+    (0..dataset.num_silos)
+        .flat_map(|silo_id| {
+            dataset
+                .users_in_silo(silo_id)
+                .into_iter()
+                .filter(move |&user| weights.get(silo_id, user) != 0.0)
+                .map(move |user| (silo_id, user))
+        })
+        .collect()
+}
+
+/// Accumulates per-task contributions into per-silo buffers, sequentially in task order —
+/// the deterministic (scheduling-independent) replacement for accumulating inside the
+/// parallel loop. Empty contributions (users with no records) are zero-length and add
+/// nothing.
+pub(crate) fn accumulate_per_silo(
+    tasks: &[(usize, usize)],
+    contributions: &[Vec<f64>],
+    num_silos: usize,
+    dim: usize,
+) -> Vec<Vec<f64>> {
+    let mut per_silo = vec![vec![0.0; dim]; num_silos];
+    for (&(silo_id, _), contribution) in tasks.iter().zip(contributions.iter()) {
+        for (acc, d) in per_silo[silo_id].iter_mut().zip(contribution.iter()) {
+            *acc += d;
+        }
     }
-    let mut results: Vec<Option<Vec<f64>>> = (0..num_silos).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(num_silos);
-        for s in 0..num_silos {
-            let per_silo = &per_silo;
-            handles.push(scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(silo_seed(s));
-                per_silo(s, &mut rng)
-            }));
-        }
-        for (s, handle) in handles.into_iter().enumerate() {
-            results[s] = Some(handle.join().expect("silo thread panicked"));
-        }
-    });
-    results.into_iter().map(|r| r.expect("missing silo result")).collect()
+    per_silo
 }
 
 /// Applies the aggregated update to the global model:
@@ -62,9 +104,12 @@ pub(crate) fn apply_update(model: &mut dyn Model, aggregate: &[f64], global_lr: 
 }
 
 /// Derives a fresh per-round seed from the configured seed and round index.
+///
+/// A SplitMix64-style hash ([`seeding::index_seed`]) rather than a full `StdRng`
+/// construction per call: the derivation is a pure 64-bit mix, an order of magnitude
+/// cheaper and just as well distributed.
 pub(crate) fn round_seed(seed: u64, round: u64) -> u64 {
-    let mut rng = StdRng::seed_from_u64(seed ^ round.wrapping_mul(0xD1B5_4A32_D192_ED03));
-    rng.gen()
+    seeding::index_seed(seed, round)
 }
 
 #[cfg(test)]
@@ -110,26 +155,43 @@ pub(crate) mod test_util {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::Rng;
     use uldp_ml::LinearClassifier;
 
     #[test]
     fn map_silos_is_deterministic_and_ordered() {
+        let rt = Runtime::new(3);
         let f = |s: usize, rng: &mut StdRng| vec![s as f64, rng.gen::<f64>()];
-        let a = map_silos(4, 7, f);
-        let b = map_silos(4, 7, f);
+        let a = map_silos(&rt, 4, 7, f);
+        let b = map_silos(&rt, 4, 7, f);
         assert_eq!(a, b);
+        // thread count does not change the results
+        assert_eq!(a, map_silos(&Runtime::new(1), 4, 7, f));
         for (s, v) in a.iter().enumerate() {
             assert_eq!(v[0], s as f64);
         }
         // different seeds give different randomness
-        let c = map_silos(4, 8, f);
+        let c = map_silos(&rt, 4, 8, f);
         assert_ne!(a, c);
     }
 
     #[test]
     fn map_silos_single_silo() {
-        let out = map_silos(1, 0, |_, _| vec![42.0]);
+        let out = map_silos(&Runtime::new(2), 1, 0, |_, _| vec![42.0]);
         assert_eq!(out, vec![vec![42.0]]);
+    }
+
+    #[test]
+    fn task_and_noise_rngs_are_stream_separated() {
+        let a: u64 = task_rng(5, 10, 0, 0).gen();
+        let b: u64 = task_rng(5, 10, 0, 1).gen();
+        let c: u64 = task_rng(5, 10, 1, 0).gen();
+        let z: u64 = noise_rng(5, 0).gen();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, z);
+        let a2: u64 = task_rng(5, 10, 0, 0).gen();
+        assert_eq!(a, a2);
     }
 
     #[test]

@@ -12,11 +12,13 @@ use crate::algorithms::{apply_update, map_silos};
 use crate::config::FlConfig;
 use crate::silo;
 use uldp_ml::{clipping, Model};
+use uldp_runtime::Runtime;
 
 use uldp_datasets::FederatedDataset;
 
-/// Runs one ULDP-NAIVE round, updating `model` in place.
+/// Runs one ULDP-NAIVE round on the worker pool, updating `model` in place.
 pub fn run_round(
+    rt: &Runtime,
     model: &mut Box<dyn Model>,
     dataset: &FederatedDataset,
     config: &FlConfig,
@@ -27,7 +29,7 @@ pub fn run_round(
     let template = model.clone_model();
     // Per-silo noise std: sqrt(sigma^2 C^2 |S|) = sigma * C * sqrt(|S|)  (Algorithm 1, l.14).
     let noise_std = config.sigma * config.clip_bound * (dataset.num_silos as f64).sqrt();
-    let deltas = map_silos(dataset.num_silos, round_seed, |silo_id, rng| {
+    let deltas = map_silos(rt, dataset.num_silos, round_seed, |silo_id, rng| {
         let mut scratch = template.clone_model();
         let records: Vec<&uldp_ml::Sample> =
             dataset.silo_records(silo_id).into_iter().map(|r| &r.sample).collect();
@@ -54,6 +56,10 @@ mod tests {
     use crate::algorithms::test_util::{tiny_federation, tiny_model};
     use crate::config::{FlConfig, Method};
 
+    fn rt() -> Runtime {
+        Runtime::new(2)
+    }
+
     #[test]
     fn noiseless_naive_matches_clipped_default_behaviour() {
         // With sigma = 0 the only difference from DEFAULT is clipping; training should
@@ -68,7 +74,7 @@ mod tests {
             ..Default::default()
         };
         for t in 0..5 {
-            run_round(&mut model, &dataset, &config, t);
+            run_round(&rt(), &mut model, &dataset, &config, t);
         }
         let acc = uldp_ml::metrics::accuracy(model.as_ref(), &dataset.test);
         assert!(acc > 0.9, "accuracy {acc}");
@@ -82,8 +88,8 @@ mod tests {
         let config = FlConfig { method: Method::UldpNaive, sigma: 5.0, ..Default::default() };
         let mut m1 = tiny_model();
         let mut m2 = tiny_model();
-        run_round(&mut m1, &dataset, &config, 1);
-        run_round(&mut m2, &dataset, &config, 2);
+        run_round(&rt(), &mut m1, &dataset, &config, 1);
+        run_round(&rt(), &mut m2, &dataset, &config, 2);
         let diff: f64 =
             m1.parameters().iter().zip(m2.parameters().iter()).map(|(a, b)| (a - b).abs()).sum();
         assert!(diff > 0.1, "different noise seeds should give different models");
@@ -102,7 +108,7 @@ mod tests {
         };
         let mut model = tiny_model();
         let before = model.parameters().to_vec();
-        run_round(&mut model, &dataset, &config, 0);
+        run_round(&rt(), &mut model, &dataset, &config, 0);
         // ||x_{t+1} - x_t|| <= global_lr * (1/|S|) * sum_s ||clip(delta_s)|| <= clip
         let moved: f64 = model
             .parameters()

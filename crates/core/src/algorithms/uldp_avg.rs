@@ -12,19 +12,29 @@
 //! Algorithm 4).
 
 use crate::aggregation::{add_gaussian_noise, sum_deltas};
-use crate::algorithms::{apply_update, map_silos};
+use crate::algorithms::{
+    accumulate_per_silo, apply_update, noise_rng, participating_tasks, task_rng,
+};
 use crate::config::FlConfig;
 use crate::silo;
 use crate::weighting::WeightMatrix;
 use uldp_datasets::FederatedDataset;
 use uldp_ml::{clipping, Model};
+use uldp_runtime::Runtime;
 
-/// Runs one ULDP-AVG round, updating `model` in place.
+/// Runs one ULDP-AVG round on the worker pool, updating `model` in place.
 ///
 /// `weights` must satisfy the `Σ_s w_{s,u} ≤ 1` constraint; user-level sub-sampling is
 /// expressed by passing a weight matrix whose unsampled users are zeroed
 /// ([`WeightMatrix::masked_by_sampling`]) together with the matching `sampling_q`.
+///
+/// The per-user local training loops — the algorithm's dominant cost (Section 3.4) — are
+/// flattened across silos into one parallel region. Each `(silo, user)` task trains with
+/// an RNG derived from `(round_seed, silo, user)`, and each silo draws its Gaussian noise
+/// from a separate per-silo stream, so the round is bitwise-identical at any thread
+/// count.
 pub fn run_round(
+    rt: &Runtime,
     model: &mut Box<dyn Model>,
     dataset: &FederatedDataset,
     config: &FlConfig,
@@ -38,37 +48,40 @@ pub fn run_round(
     let template = model.clone_model();
     let noise_std = config.sigma * config.clip_bound / (dataset.num_silos as f64).sqrt();
 
-    let deltas = map_silos(dataset.num_silos, round_seed, |silo_id, rng| {
-        let mut scratch = template.clone_model();
-        let mut silo_delta = vec![0.0; dim];
-        for user in dataset.users_in_silo(silo_id) {
-            let w = weights.get(silo_id, user);
-            if w == 0.0 {
-                continue; // unsampled or absent user
-            }
-            let records = dataset.silo_user_records(silo_id, user);
-            if records.is_empty() {
-                continue;
-            }
-            // Per-user local training with Q epochs on D_{s,u} (full-batch per epoch —
-            // per-user datasets are small).
-            let mut delta = silo::local_train(
-                scratch.as_mut(),
-                &global,
-                &records,
-                config.local_epochs,
-                config.local_lr,
-                records.len().max(1),
-                rng,
-            );
-            clipping::clip_to_norm(&mut delta, config.clip_bound);
-            for (acc, d) in silo_delta.iter_mut().zip(delta.iter()) {
-                *acc += w * d;
-            }
+    let tasks = participating_tasks(dataset, weights);
+
+    let contributions: Vec<Vec<f64>> = rt.par_map(&tasks, |_, &(silo_id, user)| {
+        let records = dataset.silo_user_records(silo_id, user);
+        if records.is_empty() {
+            return Vec::new();
         }
-        add_gaussian_noise(&mut silo_delta, noise_std, rng);
-        silo_delta
+        let mut rng = task_rng(round_seed, dataset.num_users, silo_id, user);
+        let mut scratch = template.clone_model();
+        // Per-user local training with Q epochs on D_{s,u} (full-batch per epoch —
+        // per-user datasets are small).
+        let mut delta = silo::local_train(
+            scratch.as_mut(),
+            &global,
+            &records,
+            config.local_epochs,
+            config.local_lr,
+            records.len().max(1),
+            &mut rng,
+        );
+        clipping::clip_to_norm(&mut delta, config.clip_bound);
+        let w = weights.get(silo_id, user);
+        for d in delta.iter_mut() {
+            *d *= w;
+        }
+        delta
     });
+
+    // Deterministic sequential accumulation in task order, then per-silo noise from
+    // dedicated streams.
+    let mut deltas = accumulate_per_silo(&tasks, &contributions, dataset.num_silos, dim);
+    for (silo_id, silo_delta) in deltas.iter_mut().enumerate() {
+        add_gaussian_noise(silo_delta, noise_std, &mut noise_rng(round_seed, silo_id));
+    }
 
     let aggregate = sum_deltas(&deltas, dim);
     let scale = 1.0 / (sampling_q * dataset.num_users as f64 * dataset.num_silos as f64);
@@ -87,6 +100,10 @@ mod tests {
     use crate::algorithms::test_util::{tiny_federation, tiny_model};
     use crate::config::{FlConfig, Method, WeightingStrategy};
     use uldp_ml::metrics::accuracy;
+
+    fn rt() -> Runtime {
+        Runtime::new(2)
+    }
 
     fn avg_config(sigma: f64, num_silos: usize) -> FlConfig {
         FlConfig {
@@ -111,7 +128,7 @@ mod tests {
         let mut cfg = config;
         cfg.global_lr = 3.0 * 8.0;
         for t in 0..10 {
-            run_round(&mut model, &dataset, &cfg, &weights, 1.0, t);
+            run_round(&rt(), &mut model, &dataset, &cfg, &weights, 1.0, t);
         }
         let acc = accuracy(model.as_ref(), &dataset.test);
         assert!(acc > 0.9, "accuracy {acc}");
@@ -135,7 +152,7 @@ mod tests {
         };
         let weights = WeightMatrix::uniform(2, 6);
         let before = model.parameters().to_vec();
-        run_round(&mut model, &dataset, &cfg, &weights, 1.0, 0);
+        run_round(&rt(), &mut model, &dataset, &cfg, &weights, 1.0, 0);
         let moved: f64 = model
             .parameters()
             .iter()
@@ -165,7 +182,7 @@ mod tests {
         let none = weights.masked_by_sampling(&[false; 6]);
         let mut model = tiny_model();
         let before = model.parameters().to_vec();
-        run_round(&mut model, &dataset, &cfg, &none, 0.5, 0);
+        run_round(&rt(), &mut model, &dataset, &cfg, &none, 0.5, 0);
         assert_eq!(model.parameters(), before.as_slice());
     }
 
@@ -179,7 +196,7 @@ mod tests {
         assert!(weights.satisfies_sensitivity_constraint(1e-9));
         let mut model = tiny_model();
         let cfg = avg_config(0.0, 3);
-        run_round(&mut model, &dataset, &cfg, &weights, 1.0, 0);
+        run_round(&rt(), &mut model, &dataset, &cfg, &weights, 1.0, 0);
         assert!(model.parameters().iter().all(|p| p.is_finite()));
     }
 }

@@ -6,15 +6,21 @@
 //! relationship as FedSGD vs FedAVG), which Figures 4–7 confirm.
 
 use crate::aggregation::{add_gaussian_noise, sum_deltas};
-use crate::algorithms::{apply_update, map_silos};
+use crate::algorithms::{accumulate_per_silo, apply_update, noise_rng, participating_tasks};
 use crate::config::FlConfig;
 use crate::silo;
 use crate::weighting::WeightMatrix;
 use uldp_datasets::FederatedDataset;
 use uldp_ml::{clipping, Model};
+use uldp_runtime::Runtime;
 
-/// Runs one ULDP-SGD round, updating `model` in place.
+/// Runs one ULDP-SGD round on the worker pool, updating `model` in place.
+///
+/// The per-user gradient computations are flattened across silos into one parallel
+/// region (they consume no randomness); per-silo Gaussian noise comes from dedicated
+/// seeded streams, so the round is bitwise-identical at any thread count.
 pub fn run_round(
+    rt: &Runtime,
     model: &mut Box<dyn Model>,
     dataset: &FederatedDataset,
     config: &FlConfig,
@@ -28,27 +34,27 @@ pub fn run_round(
     let template = model.clone_model();
     let noise_std = config.sigma * config.clip_bound / (dataset.num_silos as f64).sqrt();
 
-    let gradients = map_silos(dataset.num_silos, round_seed, |silo_id, rng| {
-        let mut scratch = template.clone_model();
-        let mut silo_grad = vec![0.0; dim];
-        for user in dataset.users_in_silo(silo_id) {
-            let w = weights.get(silo_id, user);
-            if w == 0.0 {
-                continue;
-            }
-            let records = dataset.silo_user_records(silo_id, user);
-            if records.is_empty() {
-                continue;
-            }
-            let mut grad = silo::local_gradient(scratch.as_mut(), &global, &records);
-            clipping::clip_to_norm(&mut grad, config.clip_bound);
-            for (acc, g) in silo_grad.iter_mut().zip(grad.iter()) {
-                *acc += w * g;
-            }
+    let tasks = participating_tasks(dataset, weights);
+
+    let contributions: Vec<Vec<f64>> = rt.par_map(&tasks, |_, &(silo_id, user)| {
+        let records = dataset.silo_user_records(silo_id, user);
+        if records.is_empty() {
+            return Vec::new();
         }
-        add_gaussian_noise(&mut silo_grad, noise_std, rng);
-        silo_grad
+        let mut scratch = template.clone_model();
+        let mut grad = silo::local_gradient(scratch.as_mut(), &global, &records);
+        clipping::clip_to_norm(&mut grad, config.clip_bound);
+        let w = weights.get(silo_id, user);
+        for g in grad.iter_mut() {
+            *g *= w;
+        }
+        grad
     });
+
+    let mut gradients = accumulate_per_silo(&tasks, &contributions, dataset.num_silos, dim);
+    for (silo_id, silo_grad) in gradients.iter_mut().enumerate() {
+        add_gaussian_noise(silo_grad, noise_std, &mut noise_rng(round_seed, silo_id));
+    }
 
     let aggregate = sum_deltas(&gradients, dim);
     // Gradients point uphill, so the server applies a *descent* step with the local
@@ -64,6 +70,10 @@ mod tests {
     use crate::algorithms::test_util::{tiny_federation, tiny_model};
     use crate::config::{FlConfig, Method, WeightingStrategy};
     use uldp_ml::metrics::accuracy;
+
+    fn rt() -> Runtime {
+        Runtime::new(2)
+    }
 
     fn sgd_config() -> FlConfig {
         FlConfig {
@@ -84,7 +94,7 @@ mod tests {
         let mut model = tiny_model();
         let before = accuracy(model.as_ref(), &dataset.test);
         for t in 0..30 {
-            run_round(&mut model, &dataset, &cfg, &weights, 1.0, t);
+            run_round(&rt(), &mut model, &dataset, &cfg, &weights, 1.0, t);
         }
         let after = accuracy(model.as_ref(), &dataset.test);
         assert!(after > before.max(0.85), "accuracy {before} -> {after}");
@@ -98,7 +108,7 @@ mod tests {
         let mut model = tiny_model();
         let refs: Vec<&uldp_ml::Sample> = dataset.test.iter().collect();
         let loss_before = model.loss(&refs);
-        run_round(&mut model, &dataset, &cfg, &weights, 1.0, 0);
+        run_round(&rt(), &mut model, &dataset, &cfg, &weights, 1.0, 0);
         let loss_after = model.loss(&refs);
         assert!(loss_after < loss_before, "{loss_before} -> {loss_after}");
     }
@@ -110,7 +120,7 @@ mod tests {
         let cfg = sgd_config();
         let mut model = tiny_model();
         let before = model.parameters().to_vec();
-        run_round(&mut model, &dataset, &cfg, &weights, 1.0, 0);
+        run_round(&rt(), &mut model, &dataset, &cfg, &weights, 1.0, 0);
         assert_eq!(model.parameters(), before.as_slice());
     }
 }

@@ -102,6 +102,11 @@ pub struct FlConfig {
     pub eval_every: u64,
     /// RNG seed for reproducibility.
     pub seed: u64,
+    /// Worker threads for the round's parallel loops: `0` uses the process-wide runtime
+    /// (`ULDP_THREADS` / available parallelism), `1` forces sequential execution, any
+    /// other value builds a dedicated pool. Training results are bitwise-identical at any
+    /// setting.
+    pub threads: usize,
 }
 
 impl Default for FlConfig {
@@ -119,6 +124,7 @@ impl Default for FlConfig {
             delta: 1e-5,
             eval_every: 1,
             seed: 42,
+            threads: 0,
         }
     }
 }

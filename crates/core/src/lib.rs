@@ -36,7 +36,7 @@ pub mod weighting;
 
 pub use config::{FlConfig, GroupSize, Method, WeightingStrategy};
 pub use protocol::{
-    ObliviousSubsampling, PrivateWeightingProtocol, ProtocolConfig, ProtocolTimings,
+    ObliviousSubsampling, PrivateWeightingProtocol, ProtocolConfig, ProtocolTimings, RoundTimings,
 };
 pub use trainer::{RoundMetrics, Trainer, TrainingHistory};
 pub use weighting::WeightMatrix;

@@ -21,10 +21,22 @@
 //! The implementation mirrors the message flow of the paper's Protocol 1 within a single
 //! process and records wall-clock timings for each phase, which the benchmark harness uses
 //! to regenerate Figures 10 and 11.
+//!
+//! ## Parallel execution
+//!
+//! The per-(silo, user) Paillier work — server-side encryption of the blinded inverses
+//! (step 2.a), silo-side weighted `scalar_mul` of the clipped deltas (2.b) and the
+//! homomorphic aggregation plus decryption (2.c) — runs on the deterministic
+//! [`uldp_runtime::Runtime`] worker pool. All encryption randomness is derived per user
+//! index from a single 256-bit seed drawn from the caller's RNG, so every ciphertext and
+//! the decrypted aggregate are bitwise-identical at any thread count
+//! (`ProtocolConfig::threads`, `ULDP_THREADS`); `RoundTimings` still reports each phase's
+//! wall-clock separately (timings, being wall-clock, naturally vary).
 
 use crate::config::WeightingStrategy;
 use crate::weighting::WeightMatrix;
 use rand::Rng;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use uldp_bigint::modular::{mod_inv, mod_mul};
 use uldp_bigint::BigUint;
@@ -33,6 +45,7 @@ use uldp_crypto::masking::MaskSeed;
 use uldp_crypto::oblivious_transfer::OneOutOfP;
 use uldp_crypto::paillier::{Ciphertext, PaillierKeyPair, PaillierPublicKey};
 use uldp_crypto::{FixedPointCodec, MultiplicativeBlinder};
+use uldp_runtime::{seeding, Runtime};
 
 /// Cryptographic parameters of the protocol.
 #[derive(Clone, Debug)]
@@ -50,6 +63,10 @@ pub struct ProtocolConfig {
     /// Upper bound `N_max` on the number of records a user may hold across silos;
     /// `C_LCM = lcm(1..=N_max)`.
     pub n_max: u64,
+    /// Worker threads for the protocol's parallel phases: `0` uses the process-wide
+    /// runtime (`ULDP_THREADS` / available parallelism), `1` forces sequential execution,
+    /// any other value builds a dedicated pool. Results are bitwise-identical regardless.
+    pub threads: usize,
 }
 
 impl Default for ProtocolConfig {
@@ -60,6 +77,7 @@ impl Default for ProtocolConfig {
             use_rfc_group: false,
             precision: 1e-10,
             n_max: 64,
+            threads: 0,
         }
     }
 }
@@ -76,6 +94,7 @@ impl ProtocolConfig {
             use_rfc_group: true,
             precision: 1e-10,
             n_max: 2000,
+            threads: 0,
         }
     }
 }
@@ -186,6 +205,9 @@ pub struct PrivateWeightingProtocol {
     /// Pairwise secure-aggregation seeds (symmetric).
     pair_seeds: Vec<Vec<MaskSeed>>,
     setup_timings: ProtocolTimings,
+    /// Worker pool for the parallel phases (shared, or dedicated per
+    /// [`ProtocolConfig::threads`]).
+    runtime: Arc<Runtime>,
 }
 
 impl PrivateWeightingProtocol {
@@ -204,6 +226,7 @@ impl PrivateWeightingProtocol {
         let num_users = histogram[0].len();
         assert!(num_users >= 1, "the protocol needs at least one user");
         assert!(histogram.iter().all(|row| row.len() == num_users));
+        let runtime = Runtime::handle(config.threads);
 
         // --- Step 1.(a)-(c): key generation and pairwise seed agreement. ---
         let key_start = Instant::now();
@@ -255,22 +278,25 @@ impl PrivateWeightingProtocol {
         // Each silo blinds and masks its histogram; the server sums the masked values.
         // The pairwise masks cancel in the sum, so we compute the aggregate directly while
         // still exercising the blinding (what the server actually sees is r_u * N_u).
-        let mut blinded_totals: Vec<BigUint> = vec![BigUint::zero(); num_users];
-        for row in &silo_histograms {
-            for (u, &count) in row.iter().enumerate() {
-                let blinded = blinder.blind(u as u64, &BigUint::from_u64(count));
-                blinded_totals[u] =
-                    uldp_bigint::modular::mod_add(&blinded_totals[u], &blinded, &modulus);
+        // Blinding-factor expansion is SHA-256-based and per-user independent, so the
+        // per-user columns run on the worker pool.
+        let blinded_totals: Vec<BigUint> = runtime.par_map_range(num_users, |u| {
+            let mut total = BigUint::zero();
+            for row in &silo_histograms {
+                let blinded = blinder.blind(u as u64, &BigUint::from_u64(row[u]));
+                total = uldp_bigint::modular::mod_add(&total, &blinded, &modulus);
             }
-        }
+            total
+        });
         let histogram_blinding = hist_start.elapsed();
 
-        // --- Step 1.(f): server inverts the blinded totals. ---
+        // --- Step 1.(f): server inverts the blinded totals (one mod_inv per user). ---
         let inv_start = Instant::now();
-        let blinded_inverses: Vec<Option<BigUint>> = blinded_totals
-            .iter()
-            .map(|b| if b.is_zero() { None } else { mod_inv(b, &modulus) })
-            .collect();
+        let blinded_inverses: Vec<Option<BigUint>> =
+            runtime.par_map(
+                &blinded_totals,
+                |_, b| if b.is_zero() { None } else { mod_inv(b, &modulus) },
+            );
         let inverse_computation = inv_start.elapsed();
 
         PrivateWeightingProtocol {
@@ -289,7 +315,20 @@ impl PrivateWeightingProtocol {
                 histogram_blinding,
                 inverse_computation,
             },
+            runtime,
         }
+    }
+
+    /// Replaces the worker pool this protocol instance runs on (e.g. to compare a
+    /// sequential and a parallel execution of the same setup).
+    pub fn with_runtime(mut self, runtime: Arc<Runtime>) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// The worker pool in use.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
     }
 
     /// Number of silos.
@@ -351,16 +390,23 @@ impl PrivateWeightingProtocol {
         assert!(dim > 0, "model dimension must be positive");
 
         // --- Step 2.(a): server encrypts (possibly sub-sampled) blinded inverses. ---
+        // One 256-bit seed drawn from the caller's RNG parameterises the whole batch;
+        // per-user encryption randomness is derived from (seed, u), so the ciphertexts
+        // are bitwise-identical at any thread count without capping the entropy of the
+        // encryption randomizers.
         let enc_start = Instant::now();
-        let encrypted_inverses: Vec<Ciphertext> = (0..self.num_users)
+        let batch_seed = seeding::wide_seed_from_rng(rng);
+        let plaintexts: Vec<BigUint> = (0..self.num_users)
             .map(|u| {
                 let keep = sampled.is_none_or(|s| s[u]);
                 match (&self.blinded_inverses[u], keep) {
-                    (Some(inv), true) => self.paillier.public.encrypt(rng, inv),
-                    _ => self.paillier.public.encrypt(rng, &BigUint::zero()),
+                    (Some(inv), true) => inv.clone(),
+                    _ => BigUint::zero(),
                 }
             })
             .collect();
+        let encrypted_inverses =
+            self.paillier.public.encrypt_batch(&self.runtime, batch_seed, &plaintexts);
         let server_encryption = enc_start.elapsed();
 
         // --- Steps 2.(b)-(c): silo-side encrypted weighting, secure aggregation of
@@ -399,24 +445,26 @@ impl PrivateWeightingProtocol {
         assert_eq!(noises.len(), self.num_silos, "one noise vector per silo required");
         let dim = noises[0].len();
 
-        // Server side: build the OT offers (step 2.a extended with dummies).
+        // Server side: build the OT offers (step 2.a extended with dummies). Every user's
+        // offer and transfer draw from an RNG derived from a 256-bit (seed, u) stream, so
+        // the realised selection is identical at any thread count.
         let enc_start = Instant::now();
-        let mut chosen = Vec::with_capacity(self.num_users);
-        let mut selected_flags = Vec::with_capacity(self.num_users);
-        for u in 0..self.num_users {
-            let real = match &self.blinded_inverses[u] {
-                Some(inv) => self.paillier.public.encrypt(rng, inv),
-                None => self.paillier.public.encrypt(rng, &BigUint::zero()),
-            };
-            let offer = sampling.build_offer(&self.paillier.public, &real, rng);
-            let (output, _sender_view) = offer.transfer_uniform(rng);
-            // The receiver keeps only the ciphertext; whether it was a real slot is
-            // recorded here purely so tests can validate correctness.
-            let was_real = output.chosen_index < sampling.numerator as usize
-                && self.blinded_inverses[u].is_some();
-            chosen.push(output.item);
-            selected_flags.push(was_real);
-        }
+        let batch_seed = seeding::wide_seed_from_rng(rng);
+        let per_user: Vec<(Ciphertext, bool)> =
+            self.runtime.par_map_wide_seeded(self.num_users, batch_seed, |u, rng| {
+                let real = match &self.blinded_inverses[u] {
+                    Some(inv) => self.paillier.public.encrypt(rng, inv),
+                    None => self.paillier.public.encrypt(rng, &BigUint::zero()),
+                };
+                let offer = sampling.build_offer(&self.paillier.public, &real, rng);
+                let (output, _sender_view) = offer.transfer_uniform(rng);
+                // The receiver keeps only the ciphertext; whether it was a real slot is
+                // recorded here purely so tests can validate correctness.
+                let was_real = output.chosen_index < sampling.numerator as usize
+                    && self.blinded_inverses[u].is_some();
+                (output.item, was_real)
+            });
+        let (chosen, selected_flags): (Vec<Ciphertext>, Vec<bool>) = per_user.into_iter().unzip();
         let server_encryption = enc_start.elapsed();
 
         // Silo side and aggregation are identical to the plain round, using the chosen
@@ -437,43 +485,68 @@ impl PrivateWeightingProtocol {
         dim: usize,
     ) -> (Vec<f64>, RoundTimings) {
         let n = &self.paillier.public.n;
+        let rt = &*self.runtime;
         let silo_start = Instant::now();
-        let mut per_silo_ciphertexts: Vec<Vec<Ciphertext>> = Vec::with_capacity(self.num_silos);
         for silo in 0..self.num_silos {
             assert_eq!(clipped_deltas[silo].len(), self.num_users, "per-user deltas required");
             assert_eq!(noises[silo].len(), dim, "noise dimensionality mismatch");
-            let mut coords: Vec<Ciphertext> = Vec::with_capacity(dim);
-            for j in 0..dim {
-                let mut acc = self.paillier.public.trivial_zero();
-                for (u, delta) in clipped_deltas[silo].iter().enumerate() {
-                    let n_su = self.silo_histograms[silo][u];
-                    if n_su == 0 || delta.is_empty() {
-                        continue;
-                    }
-                    assert_eq!(delta.len(), dim, "delta dimensionality mismatch");
-                    let mut scalar = self.codec.encode(delta[j]);
-                    scalar = mod_mul(&scalar, &BigUint::from_u64(n_su), n);
-                    scalar = mod_mul(&scalar, &self.blinder.factor(u as u64), n);
-                    scalar = mod_mul(&scalar, &self.c_lcm, n);
-                    let term = self.paillier.public.scalar_mul(&encrypted_inverses[u], &scalar);
-                    acc = self.paillier.public.add(&acc, &term);
-                }
-                let noise_scalar = mod_mul(&self.codec.encode(noises[silo][j]), &self.c_lcm, n);
-                acc = self.paillier.public.add_plain(&acc, &noise_scalar);
-                coords.push(acc);
+            for delta in clipped_deltas[silo].iter().filter(|d| !d.is_empty()) {
+                assert_eq!(delta.len(), dim, "delta dimensionality mismatch");
             }
-            per_silo_ciphertexts.push(coords);
         }
+        // The per-user scalar prefix `n_su · r_u · C_LCM mod n` is independent of the
+        // coordinate, so it is computed once per (silo, user) instead of once per
+        // (silo, user, coordinate); the SHA-based blinding-factor expansion runs on the
+        // pool.
+        let factors: Vec<BigUint> =
+            rt.par_map_range(self.num_users, |u| self.blinder.factor(u as u64));
+        let prefixes: Vec<Vec<BigUint>> = (0..self.num_silos)
+            .map(|silo| {
+                (0..self.num_users)
+                    .map(|u| {
+                        let n_su = self.silo_histograms[silo][u];
+                        let p = mod_mul(&BigUint::from_u64(n_su), &factors[u], n);
+                        mod_mul(&p, &self.c_lcm, n)
+                    })
+                    .collect()
+            })
+            .collect();
+        // Step 2.(b): every (silo, coordinate) cell is independent — the Paillier
+        // `scalar_mul` per user inside it is the protocol's dominant cost (Figures
+        // 10–11) — so the cells are flattened into one parallel region.
+        let cells: Vec<Ciphertext> = rt.par_map_range(self.num_silos * dim, |idx| {
+            let silo = idx / dim;
+            let j = idx % dim;
+            let mut acc = self.paillier.public.trivial_zero();
+            for (u, delta) in clipped_deltas[silo].iter().enumerate() {
+                if self.silo_histograms[silo][u] == 0 || delta.is_empty() {
+                    continue;
+                }
+                let scalar = mod_mul(&self.codec.encode(delta[j]), &prefixes[silo][u], n);
+                let term = self.paillier.public.scalar_mul(&encrypted_inverses[u], &scalar);
+                acc = self.paillier.public.add(&acc, &term);
+            }
+            let noise_scalar = mod_mul(&self.codec.encode(noises[silo][j]), &self.c_lcm, n);
+            self.paillier.public.add_plain(&acc, &noise_scalar)
+        });
+        let mut cells = cells;
+        let per_silo_ciphertexts: Vec<Vec<Ciphertext>> =
+            (0..self.num_silos).map(|_| cells.drain(..dim).collect()).collect();
         let silo_weighting = silo_start.elapsed();
 
+        // Step 2.(c): fixed-shape tree reduction over the silo ciphertext vectors
+        // (ciphertext addition is exact modular arithmetic, so the tree shape cannot
+        // change the result), then parallel decryption — one `c^λ mod n²` per coordinate.
         let agg_start = Instant::now();
-        let mut out = Vec::with_capacity(dim);
-        for j in 0..dim {
-            let total =
-                self.paillier.public.sum(per_silo_ciphertexts.iter().map(|coords| &coords[j]));
-            let decrypted = self.paillier.secret.decrypt(&total);
-            out.push(self.codec.decode(&decrypted, &self.c_lcm));
-        }
+        let totals: Vec<Ciphertext> = rt
+            .par_reduce(per_silo_ciphertexts, |a, b| {
+                a.iter().zip(b.iter()).map(|(x, y)| self.paillier.public.add(x, y)).collect()
+            })
+            .expect("at least two silos");
+        let out: Vec<f64> = rt.par_map(&totals, |_, total| {
+            let decrypted = self.paillier.secret.decrypt(total);
+            self.codec.decode(&decrypted, &self.c_lcm)
+        });
         let aggregation = agg_start.elapsed();
         (out, RoundTimings { server_encryption: Duration::ZERO, silo_weighting, aggregation })
     }
@@ -659,6 +732,40 @@ mod tests {
         for (a, b) in secure.iter().zip(reference.iter()) {
             assert!((a - b).abs() < 1e-6, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn weighting_round_is_bitwise_identical_across_thread_counts() {
+        let histogram = small_histogram();
+        let run = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(9);
+            let cfg = ProtocolConfig { threads, ..test_config() };
+            let protocol = PrivateWeightingProtocol::setup(&histogram, &cfg, &mut rng);
+            let (deltas, noises) = deltas_and_noise(&histogram, 4, 42);
+            let (out, _) = protocol.weighting_round(&deltas, &noises, None, &mut rng);
+            out.iter().map(|v| v.to_bits()).collect::<Vec<u64>>()
+        };
+        let sequential = run(1);
+        assert_eq!(sequential, run(2));
+        assert_eq!(sequential, run(4));
+    }
+
+    #[test]
+    fn oblivious_round_is_bitwise_identical_across_thread_counts() {
+        let histogram = small_histogram();
+        let run = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(13);
+            let cfg = ProtocolConfig { threads, ..test_config() };
+            let protocol = PrivateWeightingProtocol::setup(&histogram, &cfg, &mut rng);
+            let (deltas, noises) = deltas_and_noise(&histogram, 3, 14);
+            let sampling = ObliviousSubsampling::new(1, 2);
+            let (out, flags, _) = protocol
+                .weighting_round_with_oblivious_subsampling(&deltas, &noises, &sampling, &mut rng);
+            (out.iter().map(|v| v.to_bits()).collect::<Vec<u64>>(), flags)
+        };
+        let sequential = run(1);
+        assert_eq!(sequential, run(2));
+        assert_eq!(sequential, run(4));
     }
 
     #[test]

@@ -13,9 +13,11 @@ use crate::weighting::WeightMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use uldp_accounting::{Accountant, AlgorithmPrivacy};
 use uldp_datasets::FederatedDataset;
 use uldp_ml::{metrics, Model, ModelKind};
+use uldp_runtime::Runtime;
 
 /// Utility and privacy measurements recorded after a round.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -93,6 +95,7 @@ pub struct Trainer {
     weights: WeightMatrix,
     contribution_flags: Option<Vec<bool>>,
     rng: StdRng,
+    runtime: Arc<Runtime>,
 }
 
 impl Trainer {
@@ -134,7 +137,8 @@ impl Trainer {
         };
         let accountant = Accountant::new(privacy);
         let rng = StdRng::seed_from_u64(config.seed);
-        Trainer { config, dataset, model, accountant, weights, contribution_flags, rng }
+        let runtime = Runtime::handle(config.threads);
+        Trainer { config, dataset, model, accountant, weights, contribution_flags, rng, runtime }
     }
 
     /// The configuration used by this trainer.
@@ -162,22 +166,36 @@ impl Trainer {
         &self.weights
     }
 
+    /// The worker pool rounds run on (sized by [`FlConfig::threads`]).
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
     /// Executes a single round (without evaluation) and updates the privacy accountant.
     pub fn step(&mut self, round: u64) {
         let seed = round_seed(self.config.seed, round);
+        let rt = Arc::clone(&self.runtime);
         match self.config.method {
-            Method::Default => {
-                algorithms::default::run_round(&mut self.model, &self.dataset, &self.config, seed)
-            }
-            Method::UldpNaive => {
-                algorithms::naive::run_round(&mut self.model, &self.dataset, &self.config, seed)
-            }
+            Method::Default => algorithms::default::run_round(
+                &rt,
+                &mut self.model,
+                &self.dataset,
+                &self.config,
+                seed,
+            ),
+            Method::UldpNaive => algorithms::naive::run_round(
+                &rt,
+                &mut self.model,
+                &self.dataset,
+                &self.config,
+                seed,
+            ),
             Method::UldpGroup { .. } => {
                 let flags = self
                     .contribution_flags
                     .as_ref()
                     .expect("GROUP method always builds contribution flags");
-                group::run_round(&mut self.model, &self.dataset, &self.config, flags, seed);
+                group::run_round(&rt, &mut self.model, &self.dataset, &self.config, flags, seed);
             }
             Method::UldpAvg { .. } | Method::UldpSgd { .. } => {
                 let q = self.config.user_sampling;
@@ -190,6 +208,7 @@ impl Trainer {
                 };
                 if matches!(self.config.method, Method::UldpAvg { .. }) {
                     algorithms::uldp_avg::run_round(
+                        &rt,
                         &mut self.model,
                         &self.dataset,
                         &self.config,
@@ -199,6 +218,7 @@ impl Trainer {
                     );
                 } else {
                     algorithms::uldp_sgd::run_round(
+                        &rt,
                         &mut self.model,
                         &self.dataset,
                         &self.config,

@@ -18,6 +18,8 @@
 use rand::Rng;
 use uldp_bigint::modular::{mod_inv, mod_mul, mod_pow};
 use uldp_bigint::{lcm, prime, BigUint};
+use uldp_runtime::seeding::WideSeed;
+use uldp_runtime::Runtime;
 
 /// Paillier public key.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -141,6 +143,63 @@ impl PaillierPublicKey {
             acc = self.add(&acc, c);
         }
         acc
+    }
+
+    /// Encrypts a batch of plaintexts on the runtime's worker pool.
+    ///
+    /// Plaintext `i` is encrypted with randomness drawn from an RNG derived from
+    /// `(seed, i)` ([`uldp_runtime::seeding::index_seed_wide`]), so the produced
+    /// ciphertexts — not just their decryptions — are bitwise-identical at any thread
+    /// count. The 256-bit batch seed (draw it with
+    /// [`uldp_runtime::seeding::wide_seed_from_rng`]) preserves the source RNG's full
+    /// entropy, so batching does not weaken the encryption randomness. This is the server
+    /// hot path of Protocol 1 step 2.(a).
+    pub fn encrypt_batch(
+        &self,
+        rt: &Runtime,
+        seed: WideSeed,
+        plaintexts: &[BigUint],
+    ) -> Vec<Ciphertext> {
+        rt.par_map_wide_seeded(plaintexts.len(), seed, |i, rng| self.encrypt(rng, &plaintexts[i]))
+    }
+
+    /// Homomorphically multiplies each `(ciphertext, scalar)` pair on the worker pool.
+    /// Scalar multiplication is deterministic, so no seeding is involved.
+    ///
+    /// This is the standalone batch form of the `scalar_mul` loop that dominates Protocol
+    /// 1 step 2.(b); the protocol itself fuses that loop with scalar preparation and
+    /// accumulation per `(silo, coordinate)` cell (`uldp-core`'s `weighting_round`), so
+    /// this API is for callers batching scalar multiplications outside the protocol.
+    pub fn scalar_mul_batch(
+        &self,
+        rt: &Runtime,
+        pairs: &[(&Ciphertext, BigUint)],
+    ) -> Vec<Ciphertext> {
+        rt.par_map(pairs, |_, (c, k)| self.scalar_mul(c, k))
+    }
+
+    /// Sums a slice of ciphertexts with a fixed-shape parallel tree reduction.
+    /// Ciphertext addition is exact modular arithmetic, so the result is
+    /// bitwise-identical to [`PaillierPublicKey::sum`] at any thread count.
+    ///
+    /// The standalone form of the tree aggregation in Protocol 1 step 2.(c); the protocol
+    /// reduces whole per-silo ciphertext *vectors* in one tree instead, so this API is for
+    /// callers summing a flat ciphertext list.
+    pub fn sum_par(&self, rt: &Runtime, items: &[Ciphertext]) -> Ciphertext {
+        match items {
+            [] => return self.trivial_zero(),
+            [only] => return only.clone(),
+            _ => {}
+        }
+        // First tree level reads the borrowed ciphertexts directly (no up-front deep copy
+        // of the whole slice); it pairs adjacent elements with the odd leftover appended,
+        // exactly the shape `par_reduce` uses, so the overall tree is unchanged.
+        let mut level: Vec<Ciphertext> =
+            rt.par_map_range(items.len() / 2, |i| self.add(&items[2 * i], &items[2 * i + 1]));
+        if items.len() % 2 == 1 {
+            level.push(items[items.len() - 1].clone());
+        }
+        rt.par_reduce(level, |a, b| self.add(&a, &b)).expect("level is non-empty")
     }
 
     /// Samples a uniformly random unit modulo `n`.
@@ -282,5 +341,51 @@ mod tests {
     fn modulus_has_requested_size() {
         let kp = keypair(256, 16);
         assert!(kp.public.modulus_bits() >= 255);
+    }
+
+    #[test]
+    fn encrypt_batch_is_bitwise_identical_across_thread_counts() {
+        let kp = keypair(256, 17);
+        let plaintexts: Vec<BigUint> = (0..12).map(BigUint::from_u64).collect();
+        let seed: WideSeed = [5, 6, 7, 8];
+        let seq = kp.public.encrypt_batch(&Runtime::new(1), seed, &plaintexts);
+        let par = kp.public.encrypt_batch(&Runtime::new(4), seed, &plaintexts);
+        assert_eq!(seq, par);
+        for (c, m) in seq.iter().zip(plaintexts.iter()) {
+            assert_eq!(&kp.secret.decrypt(c), m);
+        }
+        // a different seed (in any lane) produces different randomness
+        let other = kp.public.encrypt_batch(&Runtime::new(1), [5, 6, 7, 9], &plaintexts);
+        assert_ne!(seq, other);
+    }
+
+    #[test]
+    fn scalar_mul_batch_matches_pointwise() {
+        let kp = keypair(256, 18);
+        let mut rng = StdRng::seed_from_u64(19);
+        let ciphertexts: Vec<Ciphertext> =
+            (1..=8u64).map(|v| kp.public.encrypt(&mut rng, &BigUint::from_u64(v))).collect();
+        let pairs: Vec<(&Ciphertext, BigUint)> = ciphertexts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c, BigUint::from_u64(10 + i as u64)))
+            .collect();
+        let batch = kp.public.scalar_mul_batch(&Runtime::new(4), &pairs);
+        for (i, (out, (c, k))) in batch.iter().zip(pairs.iter()).enumerate() {
+            assert_eq!(out, &kp.public.scalar_mul(c, k), "pair {i}");
+        }
+    }
+
+    #[test]
+    fn sum_par_matches_sequential_sum() {
+        let kp = keypair(256, 20);
+        let mut rng = StdRng::seed_from_u64(21);
+        let ciphertexts: Vec<Ciphertext> =
+            (1..=13u64).map(|v| kp.public.encrypt(&mut rng, &BigUint::from_u64(v))).collect();
+        let tree = kp.public.sum_par(&Runtime::new(4), &ciphertexts);
+        assert_eq!(tree, kp.public.sum(ciphertexts.iter()));
+        assert_eq!(kp.secret.decrypt(&tree), BigUint::from_u64((1..=13).sum()));
+        // empty input is the additive identity
+        assert_eq!(kp.public.sum_par(&Runtime::new(2), &[]), kp.public.trivial_zero());
     }
 }

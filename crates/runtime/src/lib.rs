@@ -1,0 +1,397 @@
+//! # uldp-runtime
+//!
+//! A deterministic parallel execution substrate for the Uldp-FL workspace.
+//!
+//! Every compute-heavy layer of the reproduction — the per-round training loops in
+//! `uldp-core`, the Paillier hot path of Protocol 1, and the batch primitives in
+//! `uldp-crypto` — runs on one persistent worker pool instead of spawning ad-hoc OS
+//! threads per call site. The pool exposes three primitives, all of which produce results
+//! that are **bitwise-identical at any thread count**:
+//!
+//! * [`Runtime::par_map`] / [`Runtime::par_map_range`] — chunked, order-preserving
+//!   parallel map over a slice / index range.
+//! * [`Runtime::par_map_seeded`] — like `par_map_range`, but every index additionally
+//!   receives its own `StdRng` derived from `splitmix64(seed ^ hash(index))`
+//!   ([`seeding::index_seed`]), so randomised work is a pure function of `(seed, index)`.
+//!   [`Runtime::par_map_wide_seeded`] is the 256-bit-seed variant for security-relevant
+//!   randomness (encryption randomizers), preserving the source RNG's full entropy.
+//! * [`Runtime::par_reduce`] — a fixed-shape binary tree reduction whose shape depends
+//!   only on the input length, never on scheduling.
+//!
+//! ## Sizing
+//!
+//! [`Runtime::global`] sizes the shared pool from the `ULDP_THREADS` environment variable
+//! when set (a positive integer; `1` disables parallelism entirely), falling back to
+//! [`std::thread::available_parallelism`]. Components that want an explicit size (e.g.
+//! `FlConfig::threads` / `ProtocolConfig::threads`) build their own handle with
+//! [`Runtime::handle`].
+//!
+//! ## Nesting
+//!
+//! Calling a parallel primitive from inside a pool task runs the nested region inline on
+//! the current worker. This keeps nested parallel code deadlock-free (workers never block
+//! on work only workers can drain) without changing results — determinism never depends
+//! on where a task runs.
+
+pub mod seeding;
+
+mod pool;
+
+use pool::Pool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Name of the environment variable that overrides the global pool size.
+pub const THREADS_ENV: &str = "ULDP_THREADS";
+
+/// How many chunks each worker gets on average in a `par_map`; > 1 smooths imbalance
+/// between chunks without making per-chunk overhead noticeable.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// A handle to a persistent worker pool with deterministic parallel primitives.
+///
+/// `Runtime` is usually shared as `Arc<Runtime>`; a runtime with one thread executes
+/// everything inline (no pool is spawned), which is the reference behaviour all parallel
+/// runs must reproduce bit-for-bit.
+pub struct Runtime {
+    threads: usize,
+    pool: Option<Pool>,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime").field("threads", &self.threads).finish()
+    }
+}
+
+impl Runtime {
+    /// Creates a runtime with exactly `threads` workers (`0` and `1` both mean inline
+    /// sequential execution).
+    pub fn new(threads: usize) -> Runtime {
+        let threads = threads.max(1);
+        let pool = if threads > 1 { Some(Pool::new(threads)) } else { None };
+        Runtime { threads, pool }
+    }
+
+    /// Resolves a configured thread count to a runtime handle: `0` means "auto" (the
+    /// shared [`Runtime::global`] pool), anything else builds a dedicated pool.
+    pub fn handle(threads: usize) -> Arc<Runtime> {
+        if threads == 0 {
+            Runtime::global()
+        } else {
+            Arc::new(Runtime::new(threads))
+        }
+    }
+
+    /// The process-wide shared runtime, sized from `ULDP_THREADS` or the machine's
+    /// available parallelism on first use.
+    pub fn global() -> Arc<Runtime> {
+        static GLOBAL: OnceLock<Arc<Runtime>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| Arc::new(Runtime::new(threads_from_env()))))
+    }
+
+    /// Number of worker threads this runtime uses (`1` = inline sequential).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Order-preserving parallel map over `0..n`.
+    ///
+    /// Results are identical to `(0..n).map(f).collect()` at any thread count.
+    pub fn par_map_range<U, F>(&self, n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        let Some(pool) = self.usable_pool(n) else {
+            return (0..n).map(f).collect();
+        };
+        // Chunked: each task computes a contiguous index range into its own slot, so the
+        // output order is the input order regardless of which worker ran what.
+        let ranges = chunk_ranges(n, self.threads * CHUNKS_PER_THREAD);
+        let slots: Vec<Mutex<Vec<U>>> = ranges.iter().map(|_| Mutex::new(Vec::new())).collect();
+        let f = &f;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+            .iter()
+            .zip(slots.iter())
+            .map(|(range, slot)| {
+                let range = range.clone();
+                Box::new(move || {
+                    let out: Vec<U> = range.map(f).collect();
+                    *slot.lock().expect("chunk slot poisoned") = out;
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_tasks(tasks);
+        slots.into_iter().flat_map(|slot| slot.into_inner().expect("chunk slot poisoned")).collect()
+    }
+
+    /// Order-preserving parallel map over a slice; `f` receives `(index, &item)`.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        self.par_map_range(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Order-preserving parallel map over `0..n` where index `i` receives a fresh
+    /// `StdRng` seeded with [`seeding::index_seed`]`(seed, i)`.
+    ///
+    /// Because the RNG is a pure function of `(seed, index)`, the output is
+    /// bitwise-identical at any thread count — the deterministic replacement for handing a
+    /// shared RNG to a parallel loop.
+    pub fn par_map_seeded<U, F>(&self, n: usize, seed: u64, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize, &mut StdRng) -> U + Sync,
+    {
+        self.par_map_range(n, |i| {
+            let mut rng = StdRng::seed_from_u64(seeding::index_seed(seed, i as u64));
+            f(i, &mut rng)
+        })
+    }
+
+    /// Like [`Runtime::par_map_seeded`], but with a 256-bit base seed: index `i` receives
+    /// a fresh `StdRng` built with `StdRng::from_seed` from
+    /// [`seeding::index_seed_wide`]`(seed, i)`.
+    ///
+    /// Use this where the RNG feeds security-relevant randomness (e.g. encryption
+    /// randomizers): the derivation preserves the base seed's full 256 bits of entropy,
+    /// while remaining bitwise-identical at any thread count.
+    pub fn par_map_wide_seeded<U, F>(&self, n: usize, seed: seeding::WideSeed, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize, &mut StdRng) -> U + Sync,
+    {
+        self.par_map_range(n, |i| {
+            let mut rng = StdRng::from_seed(seeding::index_seed_wide(seed, i as u64));
+            f(i, &mut rng)
+        })
+    }
+
+    /// Fixed-shape binary tree reduction: pairs adjacent elements level by level until one
+    /// remains. Returns `None` for an empty input.
+    ///
+    /// The reduction shape depends only on `items.len()`, so for any `combine` (even a
+    /// non-associative one) the result is identical at any thread count; for associative
+    /// operations it also equals the sequential fold.
+    pub fn par_reduce<T, F>(&self, mut items: Vec<T>, combine: F) -> Option<T>
+    where
+        T: Send,
+        F: Fn(T, T) -> T + Sync,
+    {
+        while items.len() > 1 {
+            let leftover = if items.len() % 2 == 1 { items.pop() } else { None };
+            let pairs: Vec<(T, T)> = {
+                let mut drain = items.drain(..);
+                let mut out = Vec::new();
+                while let (Some(a), Some(b)) = (drain.next(), drain.next()) {
+                    out.push((a, b));
+                }
+                out
+            };
+            let mut next = self.par_map_consume(pairs, |(a, b)| combine(a, b));
+            next.extend(leftover);
+            items = next;
+        }
+        items.pop()
+    }
+
+    /// Parallel map that consumes its inputs (used by [`Runtime::par_reduce`] to move
+    /// operands into `combine`).
+    fn par_map_consume<T, U, F>(&self, items: Vec<T>, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        if self.usable_pool(items.len()).is_none() {
+            return items.into_iter().map(f).collect();
+        }
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        self.par_map(&slots, |_, slot| {
+            let item = slot.lock().expect("reduce slot poisoned").take().expect("item taken twice");
+            f(item)
+        })
+    }
+
+    /// The pool to use for a region of `n` items, or `None` when the region should run
+    /// inline (sequential runtime, trivial size, or already on a worker thread).
+    fn usable_pool(&self, n: usize) -> Option<&Pool> {
+        if n < 2 || pool::on_worker_thread() {
+            return None;
+        }
+        self.pool.as_ref()
+    }
+}
+
+/// Reads the pool size from `ULDP_THREADS`, falling back to available parallelism.
+///
+/// A set-but-invalid value falls back too, with a warning — a silently ignored typo
+/// would make e.g. a 1-vs-N determinism check compare two identically-sized pools.
+fn threads_from_env() -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!(
+                    "warning: ignoring invalid {THREADS_ENV}={raw:?}; \
+                     using available parallelism"
+                );
+                available_threads()
+            }
+        },
+        Err(_) => available_threads(),
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+}
+
+/// Splits `0..n` into at most `max_chunks` contiguous ranges of near-equal size.
+fn chunk_ranges(n: usize, max_chunks: usize) -> Vec<std::ops::Range<usize>> {
+    let chunks = max_chunks.clamp(1, n.max(1));
+    let base = n / chunks;
+    let extra = n % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for c in 0..chunks {
+        let len = base + usize::from(c < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let rt = Runtime::new(4);
+        let out = rt.par_map_range(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        let items: Vec<u32> = (0..17).collect();
+        let doubled = rt.par_map(&items, |i, &x| (i as u32, x * 2));
+        assert_eq!(doubled.len(), 17);
+        assert!(doubled.iter().enumerate().all(|(i, &(j, v))| i as u32 == j && v == 2 * i as u32));
+    }
+
+    #[test]
+    fn par_map_matches_sequential_runtime() {
+        let seq = Runtime::new(1);
+        let par = Runtime::new(3);
+        let a = seq.par_map_range(33, |i| i as f64 * 0.1);
+        let b = par.par_map_range(33, |i| i as f64 * 0.1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeded_map_is_bitwise_identical_across_thread_counts() {
+        let draws = |threads: usize| {
+            Runtime::new(threads).par_map_seeded(64, 99, |i, rng| (i, rng.gen::<u64>()))
+        };
+        let one = draws(1);
+        assert_eq!(one, draws(2));
+        assert_eq!(one, draws(7));
+        // distinct indices draw from distinct streams
+        assert_ne!(one[0].1, one[1].1);
+    }
+
+    #[test]
+    fn wide_seeded_map_is_bitwise_identical_across_thread_counts() {
+        let seed: seeding::WideSeed = [3, 1, 4, 1];
+        let draws = |threads: usize| {
+            Runtime::new(threads).par_map_wide_seeded(32, seed, |i, rng| (i, rng.gen::<u64>()))
+        };
+        let one = draws(1);
+        assert_eq!(one, draws(2));
+        assert_eq!(one, draws(5));
+        assert_ne!(one[0].1, one[1].1);
+        // a different base seed changes every stream
+        let other =
+            Runtime::new(1).par_map_wide_seeded(32, [3, 1, 4, 2], |_, rng| rng.gen::<u64>());
+        assert_ne!(one[0].1, other[0]);
+    }
+
+    #[test]
+    fn par_reduce_shape_is_thread_count_independent() {
+        // String concatenation is non-associative-in-shape: any shape difference shows up
+        // in the bracketing.
+        let bracketed = |threads: usize, n: usize| {
+            let items: Vec<String> = (0..n).map(|i| i.to_string()).collect();
+            Runtime::new(threads).par_reduce(items, |a, b| format!("({a}{b})")).unwrap_or_default()
+        };
+        for n in [1usize, 2, 3, 5, 8, 13] {
+            assert_eq!(bracketed(1, n), bracketed(4, n), "shape differs for n = {n}");
+        }
+    }
+
+    #[test]
+    fn par_reduce_sums_correctly() {
+        let rt = Runtime::new(4);
+        let total = rt.par_reduce((1..=100u64).collect(), |a, b| a + b);
+        assert_eq!(total, Some(5050));
+        assert_eq!(rt.par_reduce(Vec::<u64>::new(), |a, b| a + b), None);
+        assert_eq!(rt.par_reduce(vec![42u64], |a, b| a + b), Some(42));
+    }
+
+    #[test]
+    fn nested_parallel_regions_run_inline_without_deadlock() {
+        let rt = Runtime::new(2);
+        let out = rt.par_map_range(8, |i| {
+            // A nested region on the same (global-free) runtime must not deadlock; it runs
+            // inline on the worker.
+            Runtime::global().par_map_range(4, |j| i * 10 + j).iter().sum::<usize>()
+        });
+        assert_eq!(out.len(), 8);
+        assert_eq!(out[1], 10 + 11 + 12 + 13);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let rt = Runtime::new(3);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.par_map_range(16, |i| {
+                if i == 11 {
+                    panic!("boom at 11");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err());
+        // the pool survives a panicked batch
+        assert_eq!(rt.par_map_range(4, |i| i).len(), 4);
+    }
+
+    #[test]
+    fn handle_resolves_zero_to_global() {
+        let auto = Runtime::handle(0);
+        assert!(auto.threads() >= 1);
+        let fixed = Runtime::handle(3);
+        assert_eq!(fixed.threads(), 3);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for n in [0usize, 1, 2, 7, 16, 100] {
+            for chunks in [1usize, 3, 8, 200] {
+                let ranges = chunk_ranges(n, chunks);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n);
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect);
+                    expect = r.end;
+                }
+            }
+        }
+    }
+}

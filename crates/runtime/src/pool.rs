@@ -1,0 +1,161 @@
+//! The persistent worker pool behind [`crate::Runtime`].
+//!
+//! Workers are plain `std::thread`s blocking on a shared `mpsc` channel of boxed jobs.
+//! Batches of borrowed closures are executed through [`Pool::run_tasks`], which blocks the
+//! submitting thread until every task of the batch has finished; this join-before-return
+//! guarantee is what makes the (single, documented) lifetime transmute below sound, the
+//! same contract `std::thread::scope` enforces.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A type-erased unit of work owned by the pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// Set while a pool worker is executing jobs. Parallel primitives consult this to run
+    /// nested regions inline instead of re-submitting to the pool (which could otherwise
+    /// leave every worker blocked waiting for queue slots that only workers can drain).
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is one of the pool's workers.
+pub(crate) fn on_worker_thread() -> bool {
+    IS_WORKER.with(|w| w.get())
+}
+
+/// Completion state shared between one `run_tasks` batch and its jobs.
+///
+/// Lives in an `Arc` so a worker may still touch it after the submitting thread has been
+/// woken and returned; only the *user closures* borrow the caller's stack, and those have
+/// all finished before the final decrement.
+struct Completion {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+pub(crate) struct Pool {
+    sender: Mutex<Option<Sender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Pool {
+    /// Spawns `threads` workers (at least one).
+    pub(crate) fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("uldp-runtime-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("failed to spawn runtime worker")
+            })
+            .collect();
+        Pool { sender: Mutex::new(Some(sender)), workers: Mutex::new(workers) }
+    }
+
+    /// Runs a batch of tasks on the pool and blocks until all of them have completed.
+    ///
+    /// Panics from tasks are re-raised on the calling thread after the whole batch has
+    /// drained (never before, so borrowed state stays alive for the full batch).
+    pub(crate) fn run_tasks<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let completion = Arc::new(Completion {
+            remaining: Mutex::new(tasks.len()),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        {
+            // Everything from the first submission to the join below must be panic-free
+            // on this thread — an unwind before the join would free the `'env` stack frame
+            // while queued jobs still borrow it. Hence every lock in this region recovers
+            // from poisoning instead of panicking, and a failed send runs the returned job
+            // inline. (The shut-down expect sits before any submission, where panicking is
+            // still sound.)
+            let sender = self.sender.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let sender = sender.as_ref().expect("pool already shut down");
+            for task in tasks {
+                let completion = Arc::clone(&completion);
+                let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                    let outcome = catch_unwind(AssertUnwindSafe(task));
+                    if let Err(payload) = outcome {
+                        completion
+                            .panic
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .get_or_insert(payload);
+                    }
+                    let mut remaining = completion
+                        .remaining
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        completion.done.notify_all();
+                    }
+                });
+                // SAFETY: this thread blocks below until `remaining` hits zero, which only
+                // happens after every task closure has finished running (the decrement is
+                // strictly after the user closure returns or unwinds). No code between
+                // here and that join can unwind on this thread (see the region comment),
+                // so the borrowed environment outlives every use, exactly as in
+                // `std::thread::scope`; the transmute only erases the `'env` lifetime.
+                let job: Job =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
+                if let Err(returned) = sender.send(job) {
+                    // Workers are gone (catastrophic); run the job inline so the batch
+                    // still completes and the counter still reaches zero.
+                    (returned.0)();
+                }
+            }
+        }
+        let mut remaining =
+            completion.remaining.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *remaining > 0 {
+            remaining =
+                completion.done.wait(remaining).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        drop(remaining);
+        let payload =
+            completion.panic.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        // Closing the channel makes every worker's `recv` fail and the loop exit.
+        self.sender.lock().expect("pool sender poisoned").take();
+        for handle in self.workers.lock().expect("pool workers poisoned").drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    IS_WORKER.with(|w| w.set(true));
+    loop {
+        // The lock is held across the blocking recv (mpsc receivers are not Sync), so
+        // idle workers queue on the mutex and hand-off is serialized one pop at a time;
+        // the guard drops before `job()` runs, so execution itself is concurrent.
+        let job = match receiver.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return, // channel closed: pool is shutting down
+        }
+    }
+}

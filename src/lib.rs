@@ -13,6 +13,7 @@
 //! | [`datasets`] | `uldp-datasets` | synthetic Creditcard / MNIST / HeartDisease / TcgaBrca + uniform / zipf allocation |
 //! | [`crypto`] | `uldp-crypto` | Paillier, Diffie–Hellman, SHA-256, masking, blinding, fixed-point codec |
 //! | [`bigint`] | `uldp-bigint` | arbitrary-precision integers, modular arithmetic, primes |
+//! | [`runtime`] | `uldp-runtime` | deterministic worker pool: `par_map`, `par_map_seeded`, `par_reduce` |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@ pub use uldp_core as core;
 pub use uldp_crypto as crypto;
 pub use uldp_datasets as datasets;
 pub use uldp_ml as ml;
+pub use uldp_runtime as runtime;
 
 /// The workspace version.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
@@ -62,6 +64,7 @@ mod tests {
         let _ = crate::crypto::sha256(b"uldp");
         let _ = crate::datasets::Allocation::Uniform;
         let _ = crate::ml::Sgd::new(0.1);
+        assert!(crate::runtime::Runtime::global().threads() >= 1);
         assert!(!crate::VERSION.is_empty());
     }
 }

@@ -1,0 +1,205 @@
+//! Determinism guarantees of the pooled runtime, end to end: training through
+//! [`Trainer::run`] and a full Protocol 1 weighting round must produce **bitwise
+//! identical** results at 1, 2 and N worker threads.
+//!
+//! These are the acceptance tests of the `uldp-runtime` refactor: any scheduling
+//! dependence — a shared RNG handed across tasks, a reduction whose shape follows the
+//! thread count, a racy accumulation order — shows up here as a bit difference.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uldp_fl::core::{
+    FlConfig, Method, PrivateWeightingProtocol, ProtocolConfig, Trainer, TrainingHistory,
+    WeightingStrategy,
+};
+use uldp_fl::datasets::creditcard::{self, CreditcardConfig};
+use uldp_fl::ml::LinearClassifier;
+use uldp_fl::runtime::Runtime;
+
+/// Collapses a history into a bit-exact fingerprint (parameters and metrics as raw bits).
+fn history_bits(h: &TrainingHistory) -> Vec<u64> {
+    let mut bits: Vec<u64> = h.final_parameters.iter().map(|p| p.to_bits()).collect();
+    for r in &h.rounds {
+        bits.push(r.round);
+        bits.push(r.epsilon.to_bits());
+        bits.push(r.test_accuracy.map(|v| v.to_bits()).unwrap_or(u64::MAX));
+        bits.push(r.test_loss.map(|v| v.to_bits()).unwrap_or(u64::MAX));
+        bits.push(r.c_index.map(|v| v.to_bits()).unwrap_or(u64::MAX));
+    }
+    bits
+}
+
+fn train_with_threads(method: Method, threads: usize) -> TrainingHistory {
+    let mut rng = StdRng::seed_from_u64(7);
+    let dataset = creditcard::generate(
+        &mut rng,
+        &CreditcardConfig { train_records: 300, test_records: 60, ..Default::default() },
+    );
+    let mut config = FlConfig::recommended(method, dataset.num_silos);
+    config.rounds = 3;
+    config.local_epochs = 2;
+    config.sigma = if method.is_private() { 1.0 } else { 0.0 };
+    config.user_sampling = if matches!(method, Method::UldpAvg { .. }) { 0.7 } else { 1.0 };
+    config.threads = threads;
+    let model = Box::new(LinearClassifier::new(dataset.feature_dim(), 2));
+    Trainer::new(config, dataset, model).run()
+}
+
+#[test]
+fn training_history_is_bitwise_identical_at_any_thread_count() {
+    for method in [
+        Method::Default,
+        Method::UldpNaive,
+        Method::UldpAvg { weighting: WeightingStrategy::RecordProportional },
+        Method::UldpSgd { weighting: WeightingStrategy::Uniform },
+    ] {
+        let sequential = history_bits(&train_with_threads(method, 1));
+        assert_eq!(
+            sequential,
+            history_bits(&train_with_threads(method, 2)),
+            "{}: 2 threads diverged from sequential",
+            method.label()
+        );
+        assert_eq!(
+            sequential,
+            history_bits(&train_with_threads(method, 5)),
+            "{}: 5 threads diverged from sequential",
+            method.label()
+        );
+    }
+}
+
+#[test]
+fn group_training_is_bitwise_identical_at_any_thread_count() {
+    let run = |threads: usize| {
+        let mut rng = StdRng::seed_from_u64(8);
+        let dataset = creditcard::generate(
+            &mut rng,
+            &CreditcardConfig { train_records: 200, test_records: 40, ..Default::default() },
+        );
+        let method = Method::UldpGroup {
+            group_size: uldp_fl::core::GroupSize::Fixed(4),
+            sampling_rate: 0.5,
+        };
+        let mut config = FlConfig::recommended(method, dataset.num_silos);
+        config.rounds = 2;
+        config.sigma = 1.0;
+        config.threads = threads;
+        let model = Box::new(LinearClassifier::new(dataset.feature_dim(), 2));
+        history_bits(&Trainer::new(config, dataset, model).run())
+    };
+    let sequential = run(1);
+    assert_eq!(sequential, run(2));
+    assert_eq!(sequential, run(4));
+}
+
+#[test]
+fn protocol_round_is_bitwise_identical_at_any_thread_count() {
+    let histogram = vec![vec![3usize, 1, 0, 5, 2], vec![1, 0, 2, 5, 1], vec![0, 4, 2, 0, 3]];
+    let run = |threads: usize| {
+        let mut rng = StdRng::seed_from_u64(91);
+        let config = ProtocolConfig {
+            paillier_bits: 256,
+            dh_bits: 128,
+            n_max: 16,
+            threads,
+            ..Default::default()
+        };
+        let protocol = PrivateWeightingProtocol::setup(&histogram, &config, &mut rng);
+        let dim = 6;
+        let deltas: Vec<Vec<Vec<f64>>> = histogram
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&c| {
+                        if c == 0 {
+                            Vec::new()
+                        } else {
+                            (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let noises: Vec<Vec<f64>> = histogram
+            .iter()
+            .map(|_| (0..dim).map(|_| rng.gen_range(-0.01..0.01)).collect())
+            .collect();
+        let (out, _) = protocol.weighting_round(&deltas, &noises, None, &mut rng);
+        out.iter().map(|v| v.to_bits()).collect::<Vec<u64>>()
+    };
+    let sequential = run(1);
+    assert_eq!(sequential, run(2));
+    assert_eq!(sequential, run(6));
+}
+
+#[test]
+fn swapping_the_runtime_after_setup_preserves_bits() {
+    // The same protocol instance must produce identical rounds before and after a
+    // with_runtime swap (what the figure binaries rely on for their speedup measurement).
+    let histogram = vec![vec![2usize, 1, 3], vec![1, 2, 0]];
+    let mut rng = StdRng::seed_from_u64(17);
+    let config =
+        ProtocolConfig { paillier_bits: 256, dh_bits: 128, n_max: 8, ..Default::default() };
+    let protocol = PrivateWeightingProtocol::setup(&histogram, &config, &mut rng);
+    let deltas: Vec<Vec<Vec<f64>>> =
+        histogram.iter().map(|row| row.iter().map(|_| vec![0.25, -0.5, 0.125]).collect()).collect();
+    let noises = vec![vec![0.001, -0.002, 0.0005]; 2];
+    let round_rng = rng.clone();
+    let (a, _) = protocol.weighting_round(&deltas, &noises, None, &mut round_rng.clone());
+    let protocol = protocol.with_runtime(Runtime::handle(3));
+    let (b, _) = protocol.weighting_round(&deltas, &noises, None, &mut round_rng.clone());
+    assert_eq!(
+        a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    );
+}
+
+// Property test: random histograms and deltas, sequential vs pooled protocol rounds.
+// Key generation dominates, so the key size is small and the case count modest.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn random_protocol_rounds_match_bitwise_across_thread_counts(
+        seed in any::<u64>(),
+        histogram in prop::collection::vec(prop::collection::vec(0usize..5, 4), 2..4),
+        dim in 1usize..4,
+    ) {
+        // Guard: the protocol requires at least one record overall to be interesting;
+        // all-zero histograms are still valid (every inverse is None) and must agree too.
+        let run = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let config = ProtocolConfig {
+                paillier_bits: 128,
+                dh_bits: 64,
+                n_max: 32,
+                threads,
+                ..Default::default()
+            };
+            let protocol = PrivateWeightingProtocol::setup(&histogram, &config, &mut rng);
+            let deltas: Vec<Vec<Vec<f64>>> = histogram
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|&c| {
+                            if c == 0 {
+                                Vec::new()
+                            } else {
+                                (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let noises: Vec<Vec<f64>> = histogram
+                .iter()
+                .map(|_| (0..dim).map(|_| rng.gen_range(-0.01..0.01)).collect())
+                .collect();
+            let (out, _) = protocol.weighting_round(&deltas, &noises, None, &mut rng);
+            out.iter().map(|v| v.to_bits()).collect::<Vec<u64>>()
+        };
+        prop_assert_eq!(run(1), run(3));
+    }
+}
