@@ -11,8 +11,14 @@
 //! 3. reports the per-phase timings and the parallel speedup, and appends them to
 //!    `BENCH_protocol.json`.
 //!
+//! It also runs the `modpow` engine comparison (generic vs Montgomery vs fixed-base on
+//! a 2048-bit `scalar_mul`-shaped batch, agreement asserted bitwise) and appends it as
+//! the `modpow` section of the same JSON; CI fails if that section is missing.
+//!
 //! The exit code is non-zero on any mismatch. Workload knobs: `ULDP_SMOKE_SILOS`,
-//! `ULDP_SMOKE_USERS`, `ULDP_SMOKE_PARAMS`, `ULDP_SMOKE_BITS`.
+//! `ULDP_SMOKE_USERS`, `ULDP_SMOKE_PARAMS`, `ULDP_SMOKE_BITS`, `ULDP_MODPOW_BITS`,
+//! `ULDP_MODPOW_EXPS`. Setting `ULDP_GENERIC_MODPOW=1` forces the schoolbook
+//! exponentiation path everywhere; the AGG lines must not change (CI diffs them).
 //!
 //! ```bash
 //! cargo run --release -p uldp-bench --bin protocol_smoke
@@ -108,10 +114,15 @@ fn main() {
     );
     println!("SPEEDUP {:.2}x at {threads} threads (bitwise-identical aggregates)", cmp.speedup);
 
-    // The thread count is part of the section key so CI's 1-thread and 4-thread runs both
-    // survive in the merged report instead of the second overwriting the first.
-    let mut section =
-        BenchSection::new(format!("protocol_smoke_t{threads}"), threads, paillier_bits);
+    // The thread count — and the engine mode — are part of the section key so CI's
+    // 1-thread, 4-thread and generic-path runs all survive in the merged report instead
+    // of later runs overwriting earlier ones.
+    let engine_suffix = if uldp_bigint::montgomery::engine_disabled() { "_generic" } else { "" };
+    let mut section = BenchSection::new(
+        format!("protocol_smoke_t{threads}{engine_suffix}"),
+        threads,
+        paillier_bits,
+    );
     let mut entry = BenchEntry::new(format!("silos={num_silos} users={num_users} params={params}"));
     entry
         .phase("srv_enc", millis(cmp.timings.server_encryption))
@@ -125,5 +136,27 @@ fn main() {
     match section.write() {
         Ok(path) => println!("Wrote machine-readable timings to {}", path.display()),
         Err(e) => eprintln!("Failed to write benchmark JSON: {e}"),
+    }
+
+    // Single-core engine comparison on the acceptance workload: a 2048-bit
+    // scalar_mul-shaped batch (fixed base, 64 half-width exponents). The three paths
+    // are asserted bitwise-identical inside the comparison.
+    let modpow_bits = env_usize("ULDP_MODPOW_BITS", 2048);
+    let modpow_exps = env_usize("ULDP_MODPOW_EXPS", 64);
+    let cmp = uldp_bench::modpow::modpow_comparison(modpow_bits, modpow_exps, 1_000_033);
+    println!(
+        "MODPOW bits={} exps={}: generic {:9.1} ms | montgomery {:9.1} ms ({:.2}x) | \
+         fixed_base {:9.1} ms ({:.2}x)",
+        cmp.modulus_bits,
+        cmp.num_exps,
+        cmp.generic_ms,
+        cmp.montgomery_ms,
+        cmp.montgomery_speedup(),
+        cmp.fixed_base_ms,
+        cmp.fixed_base_speedup(),
+    );
+    match uldp_bench::modpow::write_modpow_section(&cmp) {
+        Ok(path) => println!("Wrote modpow section to {}", path.display()),
+        Err(e) => eprintln!("Failed to write modpow section: {e}"),
     }
 }

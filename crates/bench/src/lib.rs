@@ -22,6 +22,7 @@
 //! (`cargo bench`) cover the crypto primitives, the per-phase protocol cost, the RDP
 //! accountant and silo-local training.
 
+pub mod modpow;
 pub mod report;
 
 use rand::rngs::StdRng;

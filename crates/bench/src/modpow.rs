@@ -1,0 +1,123 @@
+//! Generic vs. Montgomery vs. fixed-base modular exponentiation comparison.
+//!
+//! Measures the `scalar_mul`-shaped workload of Protocol 1 step 2.(b) — one fixed base
+//! raised to many half-width exponents over one odd modulus — on the three available
+//! paths and appends the result as the `modpow` section of `BENCH_protocol.json`
+//! (CI fails the smoke job if the section is missing). The three paths must agree
+//! bit for bit; [`modpow_comparison`] asserts it while measuring.
+
+use crate::millis;
+use crate::report::{BenchEntry, BenchSection};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+use uldp_bigint::modular::mod_pow;
+use uldp_bigint::montgomery::{FixedBaseCtx, ModulusCtx};
+use uldp_bigint::BigUint;
+
+/// Wall-clock of one batch of exponentiations on each path, plus the derived speedups.
+#[derive(Clone, Debug)]
+pub struct ModpowComparison {
+    /// Modulus bit length (the ciphertext-modulus size of the shaped workload).
+    pub modulus_bits: usize,
+    /// Exponent bit length (half the modulus: a `scalar mod n` over `n²`).
+    pub exp_bits: usize,
+    /// Number of exponentiations in the batch.
+    pub num_exps: usize,
+    /// Schoolbook square-and-multiply (`uldp_bigint::modular::mod_pow`).
+    pub generic_ms: f64,
+    /// Montgomery sliding window over one shared `ModulusCtx` (`mod_pow_batch`).
+    pub montgomery_ms: f64,
+    /// `FixedBaseCtx` table, construction included (the amortised protocol shape).
+    pub fixed_base_ms: f64,
+}
+
+impl ModpowComparison {
+    /// Speedup of the shared-context Montgomery path over the generic path.
+    pub fn montgomery_speedup(&self) -> f64 {
+        self.generic_ms / self.montgomery_ms.max(1e-9)
+    }
+
+    /// Speedup of the fixed-base path (table construction included) over generic.
+    pub fn fixed_base_speedup(&self) -> f64 {
+        self.generic_ms / self.fixed_base_ms.max(1e-9)
+    }
+}
+
+/// Runs the three paths over an identical `(modulus, base, exponents)` workload and
+/// asserts their outputs are bitwise-identical.
+///
+/// The workload mirrors Paillier `scalar_mul`: an odd `modulus_bits`-bit modulus (the
+/// `n²` role), one fixed base below it (the ciphertext), and `num_exps` exponents of
+/// `modulus_bits / 2` bits (scalars reduced mod `n`).
+pub fn modpow_comparison(modulus_bits: usize, num_exps: usize, seed: u64) -> ModpowComparison {
+    assert!(modulus_bits >= 16, "modulus too small to be representative");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut modulus = BigUint::random_with_bits(&mut rng, modulus_bits);
+    if modulus.is_even() {
+        modulus = modulus.add(&BigUint::one());
+    }
+    let exp_bits = modulus_bits / 2;
+    let base = BigUint::random_below(&mut rng, &modulus);
+    let exps: Vec<BigUint> =
+        (0..num_exps).map(|_| BigUint::random_with_bits(&mut rng, exp_bits)).collect();
+
+    let start = Instant::now();
+    let generic: Vec<BigUint> = exps.iter().map(|e| mod_pow(&base, e, &modulus)).collect();
+    let generic_ms = millis(start.elapsed());
+
+    // Shared per-modulus context (construction included, amortised over the batch).
+    let start = Instant::now();
+    let ctx = Arc::new(ModulusCtx::new(&modulus));
+    let pairs: Vec<(BigUint, BigUint)> = exps.iter().map(|e| (base.clone(), e.clone())).collect();
+    let montgomery = ctx.mod_pow_batch(&pairs);
+    let montgomery_ms = millis(start.elapsed());
+
+    // Per-base table on top of the shared context (construction included).
+    let start = Instant::now();
+    let fixed = FixedBaseCtx::new(Arc::clone(&ctx), &base, exp_bits);
+    let fixed_base: Vec<BigUint> = exps.iter().map(|e| fixed.pow(e)).collect();
+    let fixed_base_ms = millis(start.elapsed());
+
+    assert_eq!(generic, montgomery, "Montgomery path diverged from the generic path");
+    assert_eq!(generic, fixed_base, "fixed-base path diverged from the generic path");
+
+    ModpowComparison { modulus_bits, exp_bits, num_exps, generic_ms, montgomery_ms, fixed_base_ms }
+}
+
+/// Writes the comparison as the `modpow` section of `BENCH_protocol.json` and returns
+/// the report path. Single-core by construction (the batch runs on the calling thread).
+pub fn write_modpow_section(cmp: &ModpowComparison) -> std::io::Result<PathBuf> {
+    let mut section = BenchSection::new("modpow", 1, cmp.modulus_bits);
+    let label_suffix =
+        format!("bits={} exp_bits={} exps={}", cmp.modulus_bits, cmp.exp_bits, cmp.num_exps);
+    let mut generic = BenchEntry::new(format!("generic {label_suffix}"));
+    generic.phase("total", cmp.generic_ms);
+    section.entries.push(generic);
+    let mut montgomery = BenchEntry::new(format!("montgomery {label_suffix}"));
+    montgomery.phase("total", cmp.montgomery_ms);
+    montgomery.speedup_vs_sequential = Some(cmp.montgomery_speedup());
+    section.entries.push(montgomery);
+    let mut fixed = BenchEntry::new(format!("fixed_base {label_suffix}"));
+    fixed.phase("total", cmp.fixed_base_ms);
+    fixed.speedup_vs_sequential = Some(cmp.fixed_base_speedup());
+    section.entries.push(fixed);
+    section.write()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_runs_and_agrees_at_small_sizes() {
+        // The agreement asserts live inside modpow_comparison; this exercises them.
+        let cmp = modpow_comparison(256, 4, 7);
+        assert_eq!(cmp.modulus_bits, 256);
+        assert_eq!(cmp.exp_bits, 128);
+        assert_eq!(cmp.num_exps, 4);
+        assert!(cmp.generic_ms >= 0.0 && cmp.montgomery_ms >= 0.0 && cmp.fixed_base_ms >= 0.0);
+    }
+}

@@ -11,17 +11,24 @@
 //! * [`BigInt`] — a signed wrapper (sign + magnitude) used where subtraction may go
 //!   negative (extended Euclid, fixed-point decoding).
 //! * [`modular`] — modular add/sub/mul/pow/inverse on [`BigUint`].
-//! * [`prime`] — Miller–Rabin primality testing and random prime generation.
+//! * [`montgomery`] — the batched-exponentiation engine: [`montgomery::ModulusCtx`]
+//!   (CIOS Montgomery multiplication with cached per-modulus constants, sliding-window
+//!   `pow`, `mod_pow_batch`) and [`montgomery::FixedBaseCtx`] (per-base radix-2ʷ tables
+//!   for one-base/many-exponent batches). Bitwise-identical to the schoolbook path.
+//! * [`prime`] — Miller–Rabin primality testing and random prime generation (sharing
+//!   one Montgomery context across all witness bases).
 //! * Utility functions [`gcd`], [`lcm`], and [`lcm_up_to`] (the `C_LCM` constant of the
 //!   paper's Protocol 1).
 //!
-//! The implementation favours clarity and testability over raw speed: multiplication is
-//! schoolbook with a Karatsuba path for large operands, and modular exponentiation is
-//! plain square-and-multiply. This is sufficient for the model sizes evaluated in the
-//! paper; key sizes used in tests are configurable.
+//! Multiplication is schoolbook with a Karatsuba path for large operands. Modular
+//! exponentiation has two paths: the plain square-and-multiply [`modular::mod_pow`]
+//! (the reference the engine is verified against, and the fallback selected by
+//! `ULDP_GENERIC_MODPOW=1`) and the Montgomery engine in [`montgomery`], which the
+//! Paillier/Diffie–Hellman call sites in `uldp-crypto` use by default.
 
 pub mod biguint;
 pub mod modular;
+pub mod montgomery;
 pub mod prime;
 pub mod signed;
 

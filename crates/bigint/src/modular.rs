@@ -1,7 +1,13 @@
 //! Modular arithmetic over [`BigUint`] values.
 //!
-//! All functions treat the modulus as defining the ring `Z_n` and expect (but do not
-//! require) inputs already reduced modulo `n`; results are always reduced.
+//! All functions treat the modulus as defining the ring `Z_n`; results are always
+//! reduced. Most functions accept unreduced inputs and reduce as a side effect of their
+//! computation; [`mod_sub`] is the exception — it **requires** both operands already in
+//! `[0, n)` (debug-asserted) so the hot paths that only ever hold reduced field elements
+//! do not pay two redundant divisions per subtraction.
+//!
+//! For repeated exponentiation over one modulus, prefer the Montgomery engine in
+//! [`crate::montgomery`]; [`mod_pow`] here is the schoolbook reference path.
 
 use crate::biguint::BigUint;
 use crate::signed::{BigInt, Sign};
@@ -12,13 +18,17 @@ pub fn mod_add(a: &BigUint, b: &BigUint, n: &BigUint) -> BigUint {
 }
 
 /// `(a - b) mod n`, wrapping into `[0, n)`.
+///
+/// Both operands must already be reduced (`a, b < n`, debug-asserted): every caller
+/// holds field elements, so reducing again here would double-reduce on the hot path.
+/// With `a, b < n` the wrapped difference `n − b + a` is itself `< n`, so no trailing
+/// reduction is needed either.
 pub fn mod_sub(a: &BigUint, b: &BigUint, n: &BigUint) -> BigUint {
-    let a = a.rem(n);
-    let b = b.rem(n);
+    debug_assert!(a < n && b < n, "mod_sub requires reduced operands");
     if a >= b {
-        a.sub(&b)
+        a.sub(b)
     } else {
-        n.sub(&b).add(&a).rem(n)
+        n.sub(b).add(a)
     }
 }
 

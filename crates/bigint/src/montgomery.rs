@@ -1,0 +1,566 @@
+//! Montgomery-form modular arithmetic: the batched-exponentiation engine.
+//!
+//! [`crate::modular::mod_pow`] pays a full `div_rem`-based reduction on every multiply.
+//! The Paillier hot path of Protocol 1, however, performs thousands of independent
+//! exponentiations over the *same* modulus (`n²` for `encrypt`/`scalar_mul`, `p²`/`q²`
+//! for CRT decryption) and often over the same *base* (one encrypted inverse raised to
+//! one scalar per model coordinate). This module amortises exactly those two axes:
+//!
+//! * [`ModulusCtx`] — per-modulus precomputation (the word inverse `n' = -n⁻¹ mod 2⁶⁴`
+//!   and `R² mod n` with `R = 2⁶⁴ˢ`), enabling CIOS Montgomery multiplication in which
+//!   every reduction is a word-by-word interleaved pass instead of a long division.
+//!   On top of it sit a sliding-window [`ModulusCtx::pow`] and
+//!   [`ModulusCtx::mod_pow_batch`] for many `(base, exp)` pairs over one modulus.
+//! * [`FixedBaseCtx`] — per-base precomputation (a radix-2ʷ table of
+//!   `base^(j·2^(w·t))`), so a batch of exponentiations of one base needs no squarings
+//!   at all: each exponentiation is at most `⌈bits/w⌉` Montgomery multiplications.
+//!
+//! All methods take `&self`, so one context can be shared freely across the worker pool
+//! (`uldp-runtime`): the contexts are immutable after construction.
+//!
+//! Montgomery form is a bijection of `Z_n`, so every result is bitwise-identical to the
+//! schoolbook [`crate::modular::mod_pow`] path; the property tests in
+//! `crates/bigint/tests/montgomery_props.rs` assert this up to 2048-bit moduli. Setting
+//! the environment variable `ULDP_GENERIC_MODPOW=1` (read once per process, see
+//! [`engine_disabled`]) makes the call sites in `uldp-crypto` fall back to the
+//! schoolbook path, which CI uses to cross-check protocol aggregates bit-for-bit.
+
+use crate::biguint::{BigUint, LIMB_BITS};
+use std::sync::OnceLock;
+
+/// Returns `true` when `ULDP_GENERIC_MODPOW` is set to `1`/`true` in the environment,
+/// asking call sites to bypass the Montgomery engine and use the schoolbook
+/// [`crate::modular::mod_pow`] path instead (read once per process).
+///
+/// This is a verification and benchmarking knob: CI runs the protocol smoke binary once
+/// with the engine and once without and diffs the decrypted aggregates bit-for-bit.
+pub fn engine_disabled() -> bool {
+    static DISABLED: OnceLock<bool> = OnceLock::new();
+    *DISABLED.get_or_init(|| {
+        matches!(
+            std::env::var("ULDP_GENERIC_MODPOW").as_deref().map(str::trim),
+            Ok("1") | Ok("true") | Ok("TRUE")
+        )
+    })
+}
+
+/// An element of `Z_n` in Montgomery form (`a·R mod n`, fixed width of `n`'s limb count).
+///
+/// Only meaningful together with the [`ModulusCtx`] that produced it; equality in
+/// Montgomery form is equivalent to equality in normal form because the mapping is a
+/// bijection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MontElem {
+    limbs: Vec<u64>,
+}
+
+/// Cached per-modulus state for Montgomery arithmetic over an odd modulus `n > 1`.
+pub struct ModulusCtx {
+    /// The modulus in canonical [`BigUint`] form.
+    n: BigUint,
+    /// The modulus as a fixed-width limb slice (width `s`, top limb non-zero).
+    n_limbs: Vec<u64>,
+    /// `-n⁻¹ mod 2⁶⁴` (the CIOS word inverse, via Newton iteration).
+    n0_inv: u64,
+    /// `R mod n` where `R = 2^(64·s)` — the Montgomery form of `1`.
+    r1: Vec<u64>,
+    /// `R² mod n` — multiplier converting into Montgomery form.
+    r2: Vec<u64>,
+}
+
+impl std::fmt::Debug for ModulusCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModulusCtx").field("modulus_bits", &self.n.bit_length()).finish()
+    }
+}
+
+/// `x⁻¹ mod 2⁶⁴` for odd `x` (Newton–Hensel lifting: 6 doublings from the trivial
+/// inverse mod 2).
+fn inv_mod_word(x: u64) -> u64 {
+    debug_assert!(x & 1 == 1);
+    let mut inv = 1u64;
+    for _ in 0..6 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(x.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(x.wrapping_mul(inv), 1);
+    inv
+}
+
+impl ModulusCtx {
+    /// Builds a context for an odd modulus `n > 1`; returns `None` otherwise (Montgomery
+    /// reduction requires `gcd(n, 2⁶⁴) = 1`, and `Z_1` is the trivial ring).
+    pub fn try_new(n: &BigUint) -> Option<ModulusCtx> {
+        if n.is_even() || n.is_one() || n.is_zero() {
+            return None;
+        }
+        let n_limbs = n.limbs().to_vec();
+        let s = n_limbs.len();
+        let n0_inv = inv_mod_word(n_limbs[0]).wrapping_neg();
+        let r1 = to_fixed_width(&BigUint::one().shl_bits(s * LIMB_BITS).rem(n), s);
+        let r2 = to_fixed_width(&BigUint::one().shl_bits(2 * s * LIMB_BITS).rem(n), s);
+        Some(ModulusCtx { n: n.clone(), n_limbs, n0_inv, r1, r2 })
+    }
+
+    /// Builds a context for an odd modulus `n > 1`; panics otherwise.
+    pub fn new(n: &BigUint) -> ModulusCtx {
+        Self::try_new(n).expect("ModulusCtx requires an odd modulus greater than 1")
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Bit length of the modulus.
+    pub fn bits(&self) -> usize {
+        self.n.bit_length()
+    }
+
+    /// Converts a value into Montgomery form (reducing it modulo `n` first if needed).
+    pub fn to_mont(&self, a: &BigUint) -> MontElem {
+        let reduced = if a < &self.n { a.clone() } else { a.rem(&self.n) };
+        let limbs = to_fixed_width(&reduced, self.n_limbs.len());
+        MontElem { limbs: self.mont_mul_limbs(&limbs, &self.r2) }
+    }
+
+    /// Converts a Montgomery-form value back to a canonical [`BigUint`].
+    pub fn from_mont(&self, a: &MontElem) -> BigUint {
+        let mut one = vec![0u64; self.n_limbs.len()];
+        one[0] = 1;
+        BigUint::from_limbs(self.mont_mul_limbs(&a.limbs, &one))
+    }
+
+    /// The Montgomery form of `1` (`R mod n`).
+    pub fn one(&self) -> MontElem {
+        MontElem { limbs: self.r1.clone() }
+    }
+
+    /// Montgomery product `a·b·R⁻¹ mod n`.
+    pub fn mont_mul(&self, a: &MontElem, b: &MontElem) -> MontElem {
+        MontElem { limbs: self.mont_mul_limbs(&a.limbs, &b.limbs) }
+    }
+
+    /// Montgomery square (currently the generic product; kept separate so call sites
+    /// express intent and a dedicated squaring can slot in without touching them).
+    pub fn mont_sqr(&self, a: &MontElem) -> MontElem {
+        MontElem { limbs: self.mont_mul_limbs(&a.limbs, &a.limbs) }
+    }
+
+    /// CIOS (coarsely integrated operand scanning) Montgomery multiplication.
+    ///
+    /// Inputs are fixed-width (`s` limbs) values `< n`; the output is the fixed-width
+    /// `a·b·R⁻¹ mod n`. One interleaved pass multiplies and reduces word by word: after
+    /// adding `a_i·b`, the low word is cancelled by adding `m·n` with
+    /// `m = t_0·n' mod 2⁶⁴`, and the accumulator shifts down one word. The accumulator
+    /// stays below `2n`, so a single conditional subtraction canonicalises the result.
+    fn mont_mul_limbs(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let s = self.n_limbs.len();
+        debug_assert_eq!(a.len(), s);
+        debug_assert_eq!(b.len(), s);
+        let n = &self.n_limbs;
+        let mut t = vec![0u64; s + 2];
+        for &ai in a.iter() {
+            let ai = ai as u128;
+            // t += a_i · b
+            let mut carry = 0u128;
+            for j in 0..s {
+                let cur = t[j] as u128 + ai * b[j] as u128 + carry;
+                t[j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[s] as u128 + carry;
+            t[s] = cur as u64;
+            t[s + 1] = (cur >> 64) as u64;
+            // t += m · n with m chosen so t ≡ 0 mod 2⁶⁴, then shift one word down.
+            let m = t[0].wrapping_mul(self.n0_inv) as u128;
+            let cur = t[0] as u128 + m * n[0] as u128;
+            let mut carry = cur >> 64;
+            for j in 1..s {
+                let cur = t[j] as u128 + m * n[j] as u128 + carry;
+                t[j - 1] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[s] as u128 + carry;
+            t[s - 1] = cur as u64;
+            // t[s+1] ≤ 1 and the carry out of `cur` ≤ 1, so this addition cannot wrap.
+            t[s] = t[s + 1] + (cur >> 64) as u64;
+        }
+        // t[0..=s] < 2n: subtract n once if needed.
+        let needs_sub = t[s] != 0 || cmp_fixed(&t[..s], n) != std::cmp::Ordering::Less;
+        if needs_sub {
+            let mut borrow = 0i128;
+            for j in 0..s {
+                let mut diff = t[j] as i128 - n[j] as i128 - borrow;
+                if diff < 0 {
+                    diff += 1i128 << 64;
+                    borrow = 1;
+                } else {
+                    borrow = 0;
+                }
+                t[j] = diff as u64;
+            }
+            debug_assert_eq!(t[s] as i128 - borrow, 0);
+        }
+        t.truncate(s);
+        t
+    }
+
+    /// Montgomery-domain exponentiation by left-to-right sliding window.
+    pub fn pow_mont(&self, base: &MontElem, exp: &BigUint) -> MontElem {
+        let bits = exp.bit_length();
+        if bits == 0 {
+            return self.one();
+        }
+        let w = window_size(bits);
+        // Odd powers base^1, base^3, …, base^(2^w − 1).
+        let mut table = Vec::with_capacity(1 << (w - 1));
+        table.push(base.clone());
+        let base_sq = self.mont_sqr(base);
+        for i in 1..(1usize << (w - 1)) {
+            let next = self.mont_mul(&table[i - 1], &base_sq);
+            table.push(next);
+        }
+        let mut acc = self.one();
+        let mut i = bits as isize - 1;
+        while i >= 0 {
+            if !exp.bit(i as usize) {
+                acc = self.mont_sqr(&acc);
+                i -= 1;
+                continue;
+            }
+            // Find the longest window [l, i] of at most w bits ending in a set bit.
+            let mut l = (i - w as isize + 1).max(0);
+            while !exp.bit(l as usize) {
+                l += 1;
+            }
+            let mut value = 0usize;
+            for b in (l..=i).rev() {
+                acc = self.mont_sqr(&acc);
+                value = (value << 1) | usize::from(exp.bit(b as usize));
+            }
+            acc = self.mont_mul(&acc, &table[(value - 1) / 2]);
+            i = l - 1;
+        }
+        acc
+    }
+
+    /// `base^exp mod n` via Montgomery sliding-window exponentiation.
+    ///
+    /// Bitwise-identical to [`crate::modular::mod_pow`] for every input (including
+    /// `0^0 = 1` and `base ≥ n`), at a fraction of the cost for large moduli.
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one();
+        }
+        self.from_mont(&self.pow_mont(&self.to_mont(base), exp))
+    }
+
+    /// Exponentiates every `(base, exp)` pair over this shared context.
+    ///
+    /// The per-modulus precomputation is paid once for the whole batch. The method (like
+    /// every other on this type) takes `&self`, so callers that want parallelism can
+    /// split the slice across a worker pool and share one context.
+    pub fn mod_pow_batch(&self, pairs: &[(BigUint, BigUint)]) -> Vec<BigUint> {
+        pairs.iter().map(|(base, exp)| self.pow(base, exp)).collect()
+    }
+}
+
+/// Precomputed radix-2ʷ table for one base: many exponents, no squarings.
+///
+/// `table[t][j − 1]` holds `base^(j·2^(w·t))` in Montgomery form, so an exponent split
+/// into `w`-bit digits `d_t` is evaluated as `∏_t table[t][d_t − 1]` — at most
+/// `⌈max_bits/w⌉` Montgomery multiplications per exponentiation, with the table built
+/// once per base. This is the shape of Protocol 1 step 2.(b): one encrypted inverse
+/// raised to one scalar per `(silo, coordinate)` cell.
+pub struct FixedBaseCtx {
+    ctx: std::sync::Arc<ModulusCtx>,
+    /// Digit width `w` in bits.
+    window: usize,
+    /// Largest exponent bit length the table covers.
+    max_bits: usize,
+    /// `table[t][j − 1] = base^(j·2^(w·t))` (Montgomery form), `j ∈ 1..2^w`.
+    table: Vec<Vec<MontElem>>,
+    /// The base in Montgomery form (fallback for out-of-range exponents).
+    base: MontElem,
+}
+
+impl std::fmt::Debug for FixedBaseCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FixedBaseCtx")
+            .field("modulus_bits", &self.ctx.bits())
+            .field("window", &self.window)
+            .field("max_bits", &self.max_bits)
+            .finish()
+    }
+}
+
+impl FixedBaseCtx {
+    /// Estimated table footprint in bytes for one base over a `modulus_bits`-bit
+    /// modulus, covering exponents of up to `max_bits` bits.
+    ///
+    /// Fixed-base tables trade memory for speed (several megabytes per base at
+    /// paper-scale key sizes); callers hoisting many of them at once can budget with
+    /// this before committing to [`FixedBaseCtx::new`].
+    pub fn estimated_table_bytes(modulus_bits: usize, max_bits: usize) -> usize {
+        let max_bits = max_bits.max(1);
+        let window = fixed_base_window(max_bits);
+        let rows = max_bits.div_ceil(window);
+        let limbs = modulus_bits.max(1).div_ceil(LIMB_BITS);
+        rows * ((1 << window) - 1) * limbs * 8
+    }
+
+    /// Builds the fixed-base table for `base` covering exponents of up to `max_bits`
+    /// bits (larger exponents fall back to the sliding-window path).
+    pub fn new(ctx: std::sync::Arc<ModulusCtx>, base: &BigUint, max_bits: usize) -> FixedBaseCtx {
+        let max_bits = max_bits.max(1);
+        let window = fixed_base_window(max_bits);
+        let windows = max_bits.div_ceil(window);
+        let base_m = ctx.to_mont(base);
+        let mut table = Vec::with_capacity(windows);
+        let mut row_base = base_m.clone();
+        for t in 0..windows {
+            // Row t: j·2^(w·t)-th powers, built by repeated multiplication by row_base.
+            let mut row = Vec::with_capacity((1 << window) - 1);
+            row.push(row_base.clone());
+            for j in 1..((1usize << window) - 1) {
+                let next = ctx.mont_mul(&row[j - 1], &row_base);
+                row.push(next);
+            }
+            if t + 1 < windows {
+                // Next row's base: row_base^(2^w), by w squarings.
+                for _ in 0..window {
+                    row_base = ctx.mont_sqr(&row_base);
+                }
+            }
+            table.push(row);
+        }
+        FixedBaseCtx { ctx, window, max_bits, table, base: base_m }
+    }
+
+    /// The shared modulus context the table was built over.
+    pub fn modulus_ctx(&self) -> &ModulusCtx {
+        &self.ctx
+    }
+
+    /// `base^exp mod n`, bitwise-identical to [`crate::modular::mod_pow`].
+    pub fn pow(&self, exp: &BigUint) -> BigUint {
+        let bits = exp.bit_length();
+        if bits == 0 {
+            return BigUint::one();
+        }
+        if bits > self.max_bits {
+            // Out of table range (callers normally reduce exponents first).
+            return self.ctx.from_mont(&self.ctx.pow_mont(&self.base, exp));
+        }
+        let mut acc = self.ctx.one();
+        for (t, row) in self.table.iter().enumerate() {
+            let mut digit = 0usize;
+            for b in 0..self.window {
+                let bit = t * self.window + b;
+                if bit < bits && exp.bit(bit) {
+                    digit |= 1 << b;
+                }
+            }
+            if digit != 0 {
+                acc = self.ctx.mont_mul(&acc, &row[digit - 1]);
+            }
+        }
+        self.ctx.from_mont(&acc)
+    }
+}
+
+/// Sliding-window width for an exponent of `bits` bits (standard thresholds balancing
+/// the 2^(w−1)-entry odd-power table against saved multiplications).
+fn window_size(bits: usize) -> usize {
+    match bits {
+        0..=23 => 1,
+        24..=79 => 3,
+        80..=239 => 4,
+        240..=671 => 5,
+        _ => 6,
+    }
+}
+
+/// Fixed-base digit width: larger tables only pay off for longer exponents.
+fn fixed_base_window(max_bits: usize) -> usize {
+    match max_bits {
+        0..=63 => 2,
+        64..=255 => 3,
+        256..=1023 => 4,
+        _ => 5,
+    }
+}
+
+/// Pads a canonical value (`< 2^(64·width)`) to a fixed-width little-endian limb vector.
+fn to_fixed_width(v: &BigUint, width: usize) -> Vec<u64> {
+    let mut out = v.limbs().to_vec();
+    debug_assert!(out.len() <= width);
+    out.resize(width, 0);
+    out
+}
+
+/// Compares two equal-width little-endian limb slices.
+fn cmp_fixed(a: &[u64], b: &[u64]) -> std::cmp::Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            std::cmp::Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular::mod_pow;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn n(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn rejects_invalid_moduli() {
+        assert!(ModulusCtx::try_new(&BigUint::zero()).is_none());
+        assert!(ModulusCtx::try_new(&BigUint::one()).is_none());
+        assert!(ModulusCtx::try_new(&n(4096)).is_none());
+        assert!(ModulusCtx::try_new(&n(3)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "odd modulus greater than 1")]
+    fn new_panics_on_even_modulus() {
+        let _ = ModulusCtx::new(&n(10));
+    }
+
+    #[test]
+    fn word_inverse_is_exact() {
+        for x in [1u64, 3, 5, 0xFFFF_FFFF_FFFF_FFFF, 0x1234_5678_9ABC_DEF1] {
+            assert_eq!(x.wrapping_mul(inv_mod_word(x)), 1);
+        }
+    }
+
+    #[test]
+    fn mont_roundtrip_small() {
+        let ctx = ModulusCtx::new(&n(1_000_003));
+        for v in [0u64, 1, 2, 999_999, 1_000_002] {
+            let m = ctx.to_mont(&n(v));
+            assert_eq!(ctx.from_mont(&m), n(v));
+        }
+        // values ≥ n are reduced on the way in
+        assert_eq!(ctx.from_mont(&ctx.to_mont(&n(2_000_007))), n(1));
+    }
+
+    #[test]
+    fn mont_mul_matches_mod_mul() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for bits in [63usize, 64, 65, 128, 512] {
+            let mut modulus = BigUint::random_with_bits(&mut rng, bits);
+            if modulus.is_even() {
+                modulus = modulus.add(&BigUint::one());
+            }
+            let ctx = ModulusCtx::new(&modulus);
+            for _ in 0..10 {
+                let a = BigUint::random_below(&mut rng, &modulus);
+                let b = BigUint::random_below(&mut rng, &modulus);
+                let product = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
+                assert_eq!(product, a.mul(&b).rem(&modulus));
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_schoolbook() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for bits in [16usize, 64, 192, 512, 1024] {
+            let mut modulus = BigUint::random_with_bits(&mut rng, bits);
+            if modulus.is_even() {
+                modulus = modulus.add(&BigUint::one());
+            }
+            let ctx = ModulusCtx::new(&modulus);
+            for exp_bits in [1usize, 17, 64, 200] {
+                let base = BigUint::random_below(&mut rng, &modulus);
+                let exp = BigUint::random_with_bits(&mut rng, exp_bits);
+                assert_eq!(
+                    ctx.pow(&base, &exp),
+                    mod_pow(&base, &exp, &modulus),
+                    "bits={bits} exp_bits={exp_bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        let ctx = ModulusCtx::new(&n(1_000_003));
+        // 0^0 = 1, matching mod_pow's convention.
+        assert_eq!(ctx.pow(&BigUint::zero(), &BigUint::zero()), BigUint::one());
+        assert_eq!(ctx.pow(&BigUint::zero(), &n(5)), BigUint::zero());
+        assert_eq!(ctx.pow(&n(7), &BigUint::zero()), BigUint::one());
+        // base ≥ n is reduced first.
+        assert_eq!(ctx.pow(&n(1_000_004), &n(2)), BigUint::one());
+    }
+
+    #[test]
+    fn mod_pow_batch_matches_pointwise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let modulus = n(0xFFFF_FFFF_FFFF_FFC5); // largest 64-bit prime
+        let ctx = ModulusCtx::new(&modulus);
+        let pairs: Vec<(BigUint, BigUint)> = (0..16)
+            .map(|_| {
+                (BigUint::random_below(&mut rng, &modulus), BigUint::random_with_bits(&mut rng, 64))
+            })
+            .collect();
+        let batch = ctx.mod_pow_batch(&pairs);
+        for (out, (base, exp)) in batch.iter().zip(pairs.iter()) {
+            assert_eq!(out, &mod_pow(base, exp, &modulus));
+        }
+    }
+
+    #[test]
+    fn fixed_base_matches_schoolbook() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for bits in [64usize, 256, 768] {
+            let mut modulus = BigUint::random_with_bits(&mut rng, bits);
+            if modulus.is_even() {
+                modulus = modulus.add(&BigUint::one());
+            }
+            let ctx = Arc::new(ModulusCtx::new(&modulus));
+            let base = BigUint::random_below(&mut rng, &modulus);
+            let fixed = FixedBaseCtx::new(Arc::clone(&ctx), &base, bits);
+            for exp_bits in [1usize, 8, bits / 2, bits] {
+                let exp = BigUint::random_with_bits(&mut rng, exp_bits);
+                assert_eq!(fixed.pow(&exp), mod_pow(&base, &exp, &modulus), "bits={bits}");
+            }
+            // exponent 0 and out-of-table-range exponents
+            assert_eq!(fixed.pow(&BigUint::zero()), BigUint::one());
+            let big_exp = BigUint::random_with_bits(&mut rng, bits + 64);
+            assert_eq!(fixed.pow(&big_exp), mod_pow(&base, &big_exp, &modulus));
+        }
+    }
+
+    #[test]
+    fn engine_disabled_matches_environment() {
+        // Must hold both in the default harness (var unset → engine active) and under
+        // a `ULDP_GENERIC_MODPOW=1 cargo test` fallback-verification run.
+        let expected = matches!(
+            std::env::var("ULDP_GENERIC_MODPOW").as_deref().map(str::trim),
+            Ok("1") | Ok("true") | Ok("TRUE")
+        );
+        assert_eq!(engine_disabled(), expected);
+    }
+
+    #[test]
+    fn estimated_table_bytes_matches_actual_table() {
+        let modulus = BigUint::from_hex("f123456789abcdef123456789abcdef1").unwrap();
+        let bits = modulus.bit_length();
+        let ctx = Arc::new(ModulusCtx::new(&modulus));
+        let fixed = FixedBaseCtx::new(Arc::clone(&ctx), &n(7), bits);
+        let actual: usize = fixed.table.iter().map(|row| row.len() * row[0].limbs.len() * 8).sum();
+        assert_eq!(FixedBaseCtx::estimated_table_bytes(bits, bits), actual);
+    }
+}

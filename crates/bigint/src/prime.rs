@@ -6,6 +6,7 @@
 
 use crate::biguint::BigUint;
 use crate::modular::mod_pow;
+use crate::montgomery::{engine_disabled, ModulusCtx};
 use rand::Rng;
 
 /// Default number of Miller–Rabin rounds (error probability below `4^-40`).
@@ -37,7 +38,11 @@ pub fn is_probably_prime<R: Rng + ?Sized>(rng: &mut R, n: &BigUint, rounds: usiz
 
 /// Miller–Rabin probabilistic primality test with `rounds` random bases.
 ///
-/// Assumes `n` is odd and larger than the small-prime table.
+/// Assumes `n` is odd and larger than the small-prime table. One Montgomery context
+/// ([`ModulusCtx`]) is shared across all witness bases, and the `x ← x²` witness chain
+/// stays in Montgomery form throughout (equality against `1` and `n − 1` is checked in
+/// the Montgomery domain, which is a bijection), so key generation pays the per-modulus
+/// precomputation once per candidate instead of once per exponentiation.
 pub fn miller_rabin<R: Rng + ?Sized>(rng: &mut R, n: &BigUint, rounds: usize) -> bool {
     let one = BigUint::one();
     let n_minus_1 = n.sub(&one);
@@ -48,17 +53,52 @@ pub fn miller_rabin<R: Rng + ?Sized>(rng: &mut R, n: &BigUint, rounds: usize) ->
         d = d.shr_bits(1);
         r += 1;
     }
+    if engine_disabled() {
+        return miller_rabin_generic(rng, n, rounds, &d, r, &n_minus_1);
+    }
+    let ctx = ModulusCtx::new(n);
+    let one_m = ctx.one();
+    let n_minus_1_m = ctx.to_mont(&n_minus_1);
     'witness: for _ in 0..rounds {
         // base in [2, n-2]
         let bound = n.sub(&BigUint::from_u64(3));
         let a = BigUint::random_below(rng, &bound).add(&BigUint::two());
-        let mut x = mod_pow(&a, &d, n);
-        if x.is_one() || x == n_minus_1 {
+        let mut x = ctx.pow_mont(&ctx.to_mont(&a), &d);
+        if x == one_m || x == n_minus_1_m {
+            continue 'witness;
+        }
+        for _ in 0..r.saturating_sub(1) {
+            x = ctx.mont_sqr(&x);
+            if x == n_minus_1_m {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// The schoolbook witness loop (`ULDP_GENERIC_MODPOW=1` fallback). Draws witnesses from
+/// `rng` in exactly the same order as the Montgomery path, so both paths consume the RNG
+/// identically and generate bit-identical primes.
+fn miller_rabin_generic<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: &BigUint,
+    rounds: usize,
+    d: &BigUint,
+    r: usize,
+    n_minus_1: &BigUint,
+) -> bool {
+    'witness: for _ in 0..rounds {
+        let bound = n.sub(&BigUint::from_u64(3));
+        let a = BigUint::random_below(rng, &bound).add(&BigUint::two());
+        let mut x = mod_pow(&a, d, n);
+        if x.is_one() || x == *n_minus_1 {
             continue 'witness;
         }
         for _ in 0..r.saturating_sub(1) {
             x = mod_pow(&x, &BigUint::two(), n);
-            if x == n_minus_1 {
+            if x == *n_minus_1 {
                 continue 'witness;
             }
         }

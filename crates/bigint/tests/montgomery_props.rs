@@ -1,0 +1,115 @@
+//! Property tests pinning the Montgomery engine to the schoolbook reference.
+//!
+//! Over random odd moduli up to 2048 bits, `ModulusCtx::pow`, `mod_pow_batch` and
+//! `FixedBaseCtx::pow` must agree bit for bit with `modular::mod_pow` — this is the
+//! invariant that makes the engine a drop-in for the Paillier/DH/Miller–Rabin call
+//! sites without perturbing any ciphertext or key. Edge cases (exponent zero, base
+//! larger than the modulus, modulus-one rejection) ride along as unit tests.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use uldp_bigint::modular::mod_pow;
+use uldp_bigint::montgomery::{FixedBaseCtx, ModulusCtx};
+use uldp_bigint::BigUint;
+
+/// Builds an odd modulus `> 1` from arbitrary limbs (up to 2048 bits).
+fn odd_modulus(limbs: &[u64]) -> BigUint {
+    let mut n = BigUint::from_limbs(limbs.to_vec());
+    if n.is_even() {
+        n = n.add(&BigUint::one());
+    }
+    if n.is_one() || n.is_zero() {
+        n = BigUint::from_u64(3);
+    }
+    n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pow_matches_schoolbook_mod_pow(
+        mod_limbs in prop::collection::vec(any::<u64>(), 1..32),
+        base_limbs in prop::collection::vec(any::<u64>(), 1..33),
+        exp_limbs in prop::collection::vec(any::<u64>(), 1..32),
+    ) {
+        let n = odd_modulus(&mod_limbs);
+        // base may exceed the modulus: the engine must reduce it like mod_pow does
+        let base = BigUint::from_limbs(base_limbs);
+        let exp = BigUint::from_limbs(exp_limbs);
+        let ctx = ModulusCtx::new(&n);
+        prop_assert_eq!(ctx.pow(&base, &exp), mod_pow(&base, &exp, &n));
+    }
+
+    #[test]
+    fn mod_pow_batch_matches_schoolbook(
+        mod_limbs in prop::collection::vec(any::<u64>(), 1..16),
+        pair_seeds in prop::collection::vec((any::<u64>(), any::<u64>()), 1..8),
+    ) {
+        let n = odd_modulus(&mod_limbs);
+        let ctx = ModulusCtx::new(&n);
+        let pairs: Vec<(BigUint, BigUint)> = pair_seeds
+            .iter()
+            .map(|&(b, e)| (BigUint::from_u64(b), BigUint::from_u64(e)))
+            .collect();
+        let batch = ctx.mod_pow_batch(&pairs);
+        prop_assert_eq!(batch.len(), pairs.len());
+        for (out, (base, exp)) in batch.iter().zip(pairs.iter()) {
+            prop_assert_eq!(out, &mod_pow(base, exp, &n));
+        }
+    }
+
+    #[test]
+    fn fixed_base_matches_schoolbook(
+        mod_limbs in prop::collection::vec(any::<u64>(), 1..32),
+        base_limbs in prop::collection::vec(any::<u64>(), 1..32),
+        exp_limbs in prop::collection::vec(any::<u64>(), 1..16),
+    ) {
+        let n = odd_modulus(&mod_limbs);
+        let base = BigUint::from_limbs(base_limbs);
+        let exp = BigUint::from_limbs(exp_limbs);
+        let ctx = Arc::new(ModulusCtx::new(&n));
+        let fixed = FixedBaseCtx::new(Arc::clone(&ctx), &base, 16 * 64);
+        prop_assert_eq!(fixed.pow(&exp), mod_pow(&base, &exp, &n));
+    }
+
+    #[test]
+    fn mont_roundtrip_is_identity(
+        mod_limbs in prop::collection::vec(any::<u64>(), 1..32),
+        value_limbs in prop::collection::vec(any::<u64>(), 1..32),
+    ) {
+        let n = odd_modulus(&mod_limbs);
+        let v = BigUint::from_limbs(value_limbs);
+        let ctx = ModulusCtx::new(&n);
+        prop_assert_eq!(ctx.from_mont(&ctx.to_mont(&v)), v.rem(&n));
+    }
+}
+
+#[test]
+fn exponent_zero_yields_one() {
+    let n = BigUint::from_u64(1_000_003);
+    let ctx = ModulusCtx::new(&n);
+    assert_eq!(ctx.pow(&BigUint::from_u64(12345), &BigUint::zero()), BigUint::one());
+    // 0^0 = 1, matching mod_pow's convention.
+    assert_eq!(ctx.pow(&BigUint::zero(), &BigUint::zero()), BigUint::one());
+    let fixed = FixedBaseCtx::new(Arc::new(ModulusCtx::new(&n)), &BigUint::from_u64(7), 64);
+    assert_eq!(fixed.pow(&BigUint::zero()), BigUint::one());
+}
+
+#[test]
+fn base_larger_than_modulus_is_reduced() {
+    let n = BigUint::from_u64(1_000_003);
+    let ctx = ModulusCtx::new(&n);
+    let base = BigUint::from_u128(u128::MAX);
+    let exp = BigUint::from_u64(17);
+    assert_eq!(ctx.pow(&base, &exp), mod_pow(&base, &exp, &n));
+}
+
+#[test]
+fn modulus_one_and_even_moduli_are_rejected() {
+    assert!(ModulusCtx::try_new(&BigUint::one()).is_none());
+    assert!(ModulusCtx::try_new(&BigUint::zero()).is_none());
+    assert!(ModulusCtx::try_new(&BigUint::from_u64(2)).is_none());
+    assert!(ModulusCtx::try_new(&BigUint::from_u64(1 << 20)).is_none());
+    assert!(ModulusCtx::try_new(&BigUint::from_u64(3)).is_some());
+}

@@ -32,6 +32,14 @@
 //! the decrypted aggregate are bitwise-identical at any thread count
 //! (`ProtocolConfig::threads`, `ULDP_THREADS`); `RoundTimings` still reports each phase's
 //! wall-clock separately (timings, being wall-clock, naturally vary).
+//!
+//! All exponentiations run on the Montgomery engine of `uldp-bigint` through contexts
+//! cached in the Paillier keys (built once at setup, shared by every round): step 2.(a)
+//! encrypts over the cached `n²` context, step 2.(b) hoists one fixed-base context per
+//! encrypted inverse out of the (silo, coordinate) cell loop, and step 2.(c) decrypts by
+//! CRT over cached `p²`/`q²` contexts. `ULDP_GENERIC_MODPOW=1` forces the schoolbook
+//! square-and-multiply path instead; both paths produce bit-identical ciphertexts and
+//! aggregates (CI diffs them).
 
 use crate::config::WeightingStrategy;
 use crate::weighting::WeightMatrix;
@@ -39,11 +47,12 @@ use rand::Rng;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use uldp_bigint::modular::{mod_inv, mod_mul};
+use uldp_bigint::montgomery::FixedBaseCtx;
 use uldp_bigint::BigUint;
 use uldp_crypto::dh::{DhGroup, DhKeyPair};
 use uldp_crypto::masking::MaskSeed;
 use uldp_crypto::oblivious_transfer::OneOutOfP;
-use uldp_crypto::paillier::{Ciphertext, PaillierKeyPair, PaillierPublicKey};
+use uldp_crypto::paillier::{Ciphertext, PaillierKeyPair, PaillierPublicKey, ScalarMulCtx};
 use uldp_crypto::{FixedPointCodec, MultiplicativeBlinder};
 use uldp_runtime::{seeding, Runtime};
 
@@ -231,6 +240,10 @@ impl PrivateWeightingProtocol {
         // --- Step 1.(a)-(c): key generation and pairwise seed agreement. ---
         let key_start = Instant::now();
         let paillier = PaillierKeyPair::generate(rng, config.paillier_bits);
+        // Warm the ciphertext-modulus Montgomery context during setup so every round
+        // (steps 2.(a)-(c)) shares the cached engine state and no phase ever pays for
+        // context construction mid-round.
+        let _ = paillier.public.ctx_n2();
         let dh_group = if config.use_rfc_group {
             DhGroup::rfc3526_2048()
         } else {
@@ -511,6 +524,36 @@ impl PrivateWeightingProtocol {
                     .collect()
             })
             .collect();
+        // User u's encrypted inverse is raised to one scalar per (participating silo,
+        // coordinate) cell, so one exponentiation context per user is hoisted out of the
+        // cell loop: for heavily-used bases it precomputes a fixed-base table (no
+        // squarings per scalar_mul), and no per-cell Montgomery context is ever rebuilt.
+        let ctx_uses: Vec<usize> = (0..self.num_users)
+            .map(|u| {
+                dim * (0..self.num_silos)
+                    .filter(|&s| self.silo_histograms[s][u] > 0 && !clipped_deltas[s][u].is_empty())
+                    .count()
+            })
+            .collect();
+        // All per-user contexts are alive for the whole region, and a fixed-base table
+        // costs megabytes per user at paper-scale key sizes — so the tables are only
+        // requested while the aggregate footprint stays within a fixed budget; beyond
+        // it, users get the table-free sliding-window context (`expected 1 use`), which
+        // still shares the cached per-modulus engine state.
+        const FIXED_BASE_BUDGET_BYTES: usize = 256 << 20;
+        let table_bytes = FixedBaseCtx::estimated_table_bytes(
+            self.paillier.public.n_squared.bit_length(),
+            self.paillier.public.n.bit_length(),
+        );
+        let participating = ctx_uses.iter().filter(|&&uses| uses > 0).count();
+        let tables_affordable =
+            participating.saturating_mul(table_bytes) <= FIXED_BASE_BUDGET_BYTES;
+        let inverse_ctxs: Vec<Option<ScalarMulCtx>> = rt.par_map_range(self.num_users, |u| {
+            (ctx_uses[u] > 0).then(|| {
+                let expected_muls = if tables_affordable { ctx_uses[u] } else { 1 };
+                self.paillier.public.scalar_mul_ctx(&encrypted_inverses[u], expected_muls)
+            })
+        });
         // Step 2.(b): every (silo, coordinate) cell is independent — the Paillier
         // `scalar_mul` per user inside it is the protocol's dominant cost (Figures
         // 10–11) — so the cells are flattened into one parallel region.
@@ -523,7 +566,8 @@ impl PrivateWeightingProtocol {
                     continue;
                 }
                 let scalar = mod_mul(&self.codec.encode(delta[j]), &prefixes[silo][u], n);
-                let term = self.paillier.public.scalar_mul(&encrypted_inverses[u], &scalar);
+                let ctx = inverse_ctxs[u].as_ref().expect("context built for participating user");
+                let term = ctx.pow(&scalar);
                 acc = self.paillier.public.add(&acc, &term);
             }
             let noise_scalar = mod_mul(&self.codec.encode(noises[silo][j]), &self.c_lcm, n);

@@ -7,17 +7,31 @@
 
 use crate::sha256::hash_parts;
 use rand::Rng;
+use std::sync::{Arc, OnceLock};
 use uldp_bigint::modular::mod_pow;
+use uldp_bigint::montgomery::{engine_disabled, ModulusCtx};
 use uldp_bigint::{prime, BigUint};
 
 /// A multiplicative group `(Z_p)^*` with generator `g` used for Diffie–Hellman.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct DhGroup {
     /// Group modulus (a safe prime for the standard groups).
     pub p: BigUint,
     /// Generator.
     pub g: BigUint,
+    /// Lazily-built Montgomery context for `p`, shared by every key pair in the group
+    /// (all the setup-phase exponentiations of Protocol 1 step 1.(b)-(c) reuse it).
+    ctx: OnceLock<Arc<ModulusCtx>>,
 }
+
+impl PartialEq for DhGroup {
+    fn eq(&self, other: &Self) -> bool {
+        // The context is derived state.
+        self.p == other.p && self.g == other.g
+    }
+}
+
+impl Eq for DhGroup {}
 
 /// The 2048-bit MODP group from RFC 3526 (group 14), generator 2.
 const RFC3526_2048_HEX: &str = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7EDEE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3BE39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF6955817183995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF";
@@ -28,31 +42,45 @@ const RFC3526_2048_HEX: &str = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1
 const RFC3526_3072_HEX: &str = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7EDEE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3BE39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF6955817183995497CEA956AE515D2261898FA051015728E5A8AAAC42DAD33170D04507A33A85521ABDF1CBA64ECFB850458DBEF0A8AEA71575D060C7DB3970F85A6E1E4C7ABF5AE8CDB0933D71E8C94E04A25619DCEE3D2261AD2EE6BF12FFA06D98A0864D87602733EC86A64521F2B18177B200CBBE117577A615D6C770988C0BAD946E208E24FA074E5AB3143DB5BFCE0FD108E4B82D120A93AD2CAFFFFFFFFFFFFFFFF";
 
 impl DhGroup {
+    /// Builds a group from a modulus and generator.
+    pub fn new(p: BigUint, g: BigUint) -> Self {
+        DhGroup { p, g, ctx: OnceLock::new() }
+    }
+
     /// The RFC 3526 2048-bit MODP group (generator 2).
     pub fn rfc3526_2048() -> Self {
-        DhGroup {
-            p: BigUint::from_hex(RFC3526_2048_HEX).expect("valid constant"),
-            g: BigUint::two(),
-        }
+        DhGroup::new(BigUint::from_hex(RFC3526_2048_HEX).expect("valid constant"), BigUint::two())
     }
 
     /// The RFC 3526 3072-bit MODP group (generator 2); the paper's security level.
     pub fn rfc3526_3072() -> Self {
-        DhGroup {
-            p: BigUint::from_hex(RFC3526_3072_HEX).expect("valid constant"),
-            g: BigUint::two(),
-        }
+        DhGroup::new(BigUint::from_hex(RFC3526_3072_HEX).expect("valid constant"), BigUint::two())
     }
 
     /// Generates a custom safe-prime group of the given bit size (for fast tests).
     pub fn generate<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Self {
-        let p = prime::generate_safe_prime(rng, bits);
-        DhGroup { p, g: BigUint::two() }
+        DhGroup::new(prime::generate_safe_prime(rng, bits), BigUint::two())
     }
 
     /// Bit length of the group modulus.
     pub fn bits(&self) -> usize {
         self.p.bit_length()
+    }
+
+    /// The shared Montgomery context for the group modulus (built on first use; clones
+    /// made afterwards share the same context through the `Arc`).
+    pub fn ctx(&self) -> &Arc<ModulusCtx> {
+        self.ctx.get_or_init(|| Arc::new(ModulusCtx::new(&self.p)))
+    }
+
+    /// `base^exp mod p` through the group's cached engine context (or the schoolbook
+    /// path under `ULDP_GENERIC_MODPOW=1`) — identical results either way.
+    fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if engine_disabled() {
+            mod_pow(base, exp, &self.p)
+        } else {
+            self.ctx().pow(base, exp)
+        }
     }
 }
 
@@ -70,7 +98,7 @@ impl DhKeyPair {
         // Secret exponent in [2, p-2].
         let upper = group.p.sub(&BigUint::from_u64(3));
         let secret = BigUint::random_below(rng, &upper).add(&BigUint::two());
-        let public = mod_pow(&group.g, &secret, &group.p);
+        let public = group.pow(&group.g, &secret);
         DhKeyPair { group: group.clone(), secret, public }
     }
 
@@ -86,7 +114,7 @@ impl DhKeyPair {
 
     /// Computes the raw shared group element `their_public^secret mod p`.
     pub fn shared_secret(&self, their_public: &BigUint) -> BigUint {
-        mod_pow(their_public, &self.secret, &self.group.p)
+        self.group.pow(their_public, &self.secret)
     }
 
     /// Derives a 32-byte symmetric seed from the shared secret via SHA-256.

@@ -14,21 +14,53 @@
 //!
 //! Homomorphic operations: ciphertext addition is multiplication mod `n²`, and
 //! multiplication by a plaintext scalar is modular exponentiation.
+//!
+//! ## The Montgomery engine
+//!
+//! Every exponentiation here runs over a handful of fixed moduli (`n²` for
+//! encryption/scalar multiplication, `p²`/`q²` for CRT decryption), so both keys carry
+//! lazily-built, shared [`ModulusCtx`] caches and route through the Montgomery engine of
+//! `uldp-bigint` by default; the `(1 + m·n) mod n²` encryption step and the `L(x)`
+//! decryption step stay in normal form at the boundaries. [`PaillierPublicKey::scalar_mul_ctx`]
+//! additionally amortises a *base*: Protocol 1 raises each encrypted inverse to one
+//! scalar per model coordinate, which a [`FixedBaseCtx`] turns into squaring-free
+//! table lookups. Results are bitwise-identical to the schoolbook square-and-multiply
+//! path (`ULDP_GENERIC_MODPOW=1` forces that path; CI diffs the two).
 
 use rand::Rng;
-use uldp_bigint::modular::{mod_inv, mod_mul, mod_pow};
+use std::sync::{Arc, OnceLock};
+use uldp_bigint::modular::{mod_inv, mod_mul, mod_pow, mod_sub};
+use uldp_bigint::montgomery::{engine_disabled, FixedBaseCtx, ModulusCtx};
 use uldp_bigint::{lcm, prime, BigUint};
 use uldp_runtime::seeding::WideSeed;
 use uldp_runtime::Runtime;
 
+/// Below this many expected exponentiations of one base, building a fixed-base table
+/// costs more than it saves and [`PaillierPublicKey::scalar_mul_ctx`] uses the plain
+/// sliding-window path instead.
+const FIXED_BASE_MIN_MULS: usize = 8;
+
 /// Paillier public key.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct PaillierPublicKey {
     /// Modulus `n = p·q`; also the plaintext space `F_n` used by Protocol 1.
     pub n: BigUint,
     /// Cached `n²`, the ciphertext modulus.
     pub n_squared: BigUint,
+    /// Lazily-built Montgomery context for `n` (shared by clones made after the build).
+    ctx_n: OnceLock<Arc<ModulusCtx>>,
+    /// Lazily-built Montgomery context for `n²`, the exponentiation hot path.
+    ctx_n2: OnceLock<Arc<ModulusCtx>>,
 }
+
+impl PartialEq for PaillierPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        // `n_squared` and the contexts are derived from `n`.
+        self.n == other.n
+    }
+}
+
+impl Eq for PaillierPublicKey {}
 
 /// Paillier secret key.
 #[derive(Clone, Debug)]
@@ -39,6 +71,19 @@ pub struct PaillierSecretKey {
     mu: BigUint,
     /// The matching public key.
     public: PaillierPublicKey,
+    /// The prime factors of `n`, kept for CRT decryption.
+    p: BigUint,
+    q: BigUint,
+    /// Cached `p²` / `q²` and the CRT exponents `λ mod φ(p²)` / `λ mod φ(q²)`.
+    p_squared: BigUint,
+    q_squared: BigUint,
+    exp_p: BigUint,
+    exp_q: BigUint,
+    /// `(p²)^{-1} mod q²` for the CRT recombination.
+    p2_inv_mod_q2: BigUint,
+    /// Lazily-built Montgomery contexts for `p²` / `q²`.
+    ctx_p2: OnceLock<Arc<ModulusCtx>>,
+    ctx_q2: OnceLock<Arc<ModulusCtx>>,
 }
 
 /// A Paillier key pair held by the aggregation server.
@@ -90,15 +135,91 @@ impl PaillierKeyPair {
                 Some(mu) => mu,
                 None => continue,
             };
-            let n_squared = n.mul(&n);
-            let public = PaillierPublicKey { n, n_squared };
-            let secret = PaillierSecretKey { lambda, mu, public: public.clone() };
+            let public = PaillierPublicKey::new(n);
+            // CRT precomputation: c^λ mod p²/q² only needs λ modulo the group orders
+            // φ(p²) = p(p−1) and φ(q²) = q(q−1), and recombination needs (p²)^{-1} mod q²
+            // (p ≠ q primes, so the inverse always exists).
+            let p_squared = p.mul(&p);
+            let q_squared = q.mul(&q);
+            let exp_p = lambda.rem(&p.mul(&p1));
+            let exp_q = lambda.rem(&q.mul(&q1));
+            let p2_inv_mod_q2 = mod_inv(&p_squared, &q_squared).expect("p² is a unit modulo q²");
+            let secret = PaillierSecretKey {
+                lambda,
+                mu,
+                public: public.clone(),
+                p,
+                q,
+                p_squared,
+                q_squared,
+                exp_p,
+                exp_q,
+                p2_inv_mod_q2,
+                ctx_p2: OnceLock::new(),
+                ctx_q2: OnceLock::new(),
+            };
             return PaillierKeyPair { public, secret };
         }
     }
 }
 
+/// A reusable exponentiation context for one ciphertext base, produced by
+/// [`PaillierPublicKey::scalar_mul_ctx`].
+///
+/// Protocol 1 step 2.(b) raises each user's encrypted inverse to one scalar per
+/// `(silo, coordinate)` cell; hoisting this context out of the cell loop amortises the
+/// per-base fixed-base table (or, for rarely-used bases, at least shares the per-modulus
+/// Montgomery state). All methods take `&self`, so one context serves a whole parallel
+/// region.
+#[derive(Debug)]
+pub struct ScalarMulCtx {
+    /// Plaintext modulus, for the `k mod n` scalar reduction `scalar_mul` performs.
+    n: BigUint,
+    inner: ScalarMulCtxInner,
+}
+
+#[derive(Debug)]
+enum ScalarMulCtxInner {
+    /// Schoolbook square-and-multiply over `n²` (the `ULDP_GENERIC_MODPOW=1` path).
+    Generic { base: BigUint, n_squared: BigUint },
+    /// Montgomery sliding window (few expected uses; no per-base table).
+    Window { ctx: Arc<ModulusCtx>, base: BigUint },
+    /// Fixed-base radix-2ʷ table (many expected uses of the same base).
+    FixedBase(FixedBaseCtx),
+}
+
+impl ScalarMulCtx {
+    /// `Dec(pow(k)) = k · Dec(base) mod n` — the hoisted form of
+    /// [`PaillierPublicKey::scalar_mul`], bitwise-identical to it.
+    pub fn pow(&self, k: &BigUint) -> Ciphertext {
+        let k = k.rem(&self.n);
+        Ciphertext(match &self.inner {
+            ScalarMulCtxInner::Generic { base, n_squared } => mod_pow(base, &k, n_squared),
+            ScalarMulCtxInner::Window { ctx, base } => ctx.pow(base, &k),
+            ScalarMulCtxInner::FixedBase(fixed) => fixed.pow(&k),
+        })
+    }
+}
+
 impl PaillierPublicKey {
+    /// Builds a public key from the modulus `n` (caching `n²`; the Montgomery contexts
+    /// are built lazily on first exponentiation and shared from then on).
+    pub fn new(n: BigUint) -> Self {
+        let n_squared = n.mul(&n);
+        PaillierPublicKey { n, n_squared, ctx_n: OnceLock::new(), ctx_n2: OnceLock::new() }
+    }
+
+    /// The shared Montgomery context for the plaintext modulus `n`.
+    pub fn ctx_n(&self) -> &Arc<ModulusCtx> {
+        self.ctx_n.get_or_init(|| Arc::new(ModulusCtx::new(&self.n)))
+    }
+
+    /// The shared Montgomery context for the ciphertext modulus `n²` (the hot path of
+    /// every encryption and scalar multiplication).
+    pub fn ctx_n2(&self) -> &Arc<ModulusCtx> {
+        self.ctx_n2.get_or_init(|| Arc::new(ModulusCtx::new(&self.n_squared)))
+    }
+
     /// Encrypts a plaintext `m ∈ F_n` with fresh randomness.
     pub fn encrypt<R: Rng + ?Sized>(&self, rng: &mut R, m: &BigUint) -> Ciphertext {
         let m = m.rem(&self.n);
@@ -108,9 +229,13 @@ impl PaillierPublicKey {
 
     /// Encrypts with explicit randomness `r` (must be a unit mod `n`); used in tests.
     pub fn encrypt_with_randomness(&self, m: &BigUint, r: &BigUint) -> Ciphertext {
-        // (1 + m*n) mod n^2
+        // (1 + m*n) mod n^2 — stays in normal form; only r^n runs in Montgomery form.
         let gm = BigUint::one().add(&m.mul(&self.n)).rem(&self.n_squared);
-        let rn = mod_pow(r, &self.n, &self.n_squared);
+        let rn = if engine_disabled() {
+            mod_pow(r, &self.n, &self.n_squared)
+        } else {
+            self.ctx_n2().pow(r, &self.n)
+        };
         Ciphertext(mod_mul(&gm, &rn, &self.n_squared))
     }
 
@@ -133,7 +258,34 @@ impl PaillierPublicKey {
 
     /// Homomorphic scalar multiplication: `Dec(scalar_mul(a, k)) = k · Dec(a) mod n`.
     pub fn scalar_mul(&self, a: &Ciphertext, k: &BigUint) -> Ciphertext {
-        Ciphertext(mod_pow(&a.0, &k.rem(&self.n), &self.n_squared))
+        let k = k.rem(&self.n);
+        Ciphertext(if engine_disabled() {
+            mod_pow(&a.0, &k, &self.n_squared)
+        } else {
+            self.ctx_n2().pow(&a.0, &k)
+        })
+    }
+
+    /// Builds a reusable [`ScalarMulCtx`] for repeated scalar multiplications of one
+    /// ciphertext. `expected_muls` is the number of [`ScalarMulCtx::pow`] calls the
+    /// caller anticipates: above a small threshold the context precomputes a fixed-base
+    /// table (no squarings per exponentiation), below it the sliding-window path is used
+    /// so a rarely-used base never pays for a table.
+    pub fn scalar_mul_ctx(&self, a: &Ciphertext, expected_muls: usize) -> ScalarMulCtx {
+        let inner = if engine_disabled() {
+            ScalarMulCtxInner::Generic { base: a.0.clone(), n_squared: self.n_squared.clone() }
+        } else if expected_muls >= FIXED_BASE_MIN_MULS {
+            // Scalars are reduced mod n before exponentiation, so the table only needs
+            // to cover n-sized exponents.
+            ScalarMulCtxInner::FixedBase(FixedBaseCtx::new(
+                Arc::clone(self.ctx_n2()),
+                &a.0,
+                self.n.bit_length(),
+            ))
+        } else {
+            ScalarMulCtxInner::Window { ctx: Arc::clone(self.ctx_n2()), base: a.0.clone() }
+        };
+        ScalarMulCtx { n: self.n.clone(), inner }
     }
 
     /// Sums an iterator of ciphertexts homomorphically.
@@ -203,12 +355,13 @@ impl PaillierPublicKey {
     }
 
     /// Samples a uniformly random unit modulo `n`.
+    ///
+    /// The gcd test alone rejects zero (`gcd(0, n) = n ≠ 1`), so no separate zero
+    /// pre-check is needed; the rejection loop draws again either way, consuming the RNG
+    /// identically to the historical two-check version.
     fn sample_unit<R: Rng + ?Sized>(&self, rng: &mut R) -> BigUint {
         loop {
             let r = BigUint::random_below(rng, &self.n);
-            if r.is_zero() {
-                continue;
-            }
             if uldp_bigint::gcd(&r, &self.n).is_one() {
                 return r;
             }
@@ -223,11 +376,65 @@ impl PaillierPublicKey {
 
 impl PaillierSecretKey {
     /// Decrypts a ciphertext back to `F_n`.
+    ///
+    /// The dominant `c^λ mod n²` is computed by CRT over the prime-square factors: two
+    /// half-width exponentiations with half-width exponents (`λ mod φ(p²)`, `λ mod
+    /// φ(q²)`) over their own cached Montgomery contexts, recombined to the unique value
+    /// mod `n²` — identical, bit for bit, to the direct exponentiation (debug builds
+    /// cross-check against [`PaillierSecretKey::decrypt_generic`] on every call).
     pub fn decrypt(&self, c: &Ciphertext) -> BigUint {
+        if engine_disabled() {
+            return self.decrypt_generic(c);
+        }
+        let pk = &self.public;
+        let x = self.pow_lambda_crt(&c.0);
+        let l = self.l_function(&x);
+        let m = mod_mul(&l, &self.mu, &pk.n);
+        debug_assert_eq!(
+            m,
+            self.decrypt_generic(c),
+            "CRT decryption must match the direct λ/μ path"
+        );
+        m
+    }
+
+    /// Decrypts via the direct `c^λ mod n²` exponentiation with the schoolbook
+    /// square-and-multiply (the seed implementation). Kept as the reference the CRT path
+    /// is cross-checked against, and as the `ULDP_GENERIC_MODPOW=1` fallback.
+    pub fn decrypt_generic(&self, c: &Ciphertext) -> BigUint {
         let pk = &self.public;
         let x = mod_pow(&c.0, &self.lambda, &pk.n_squared);
         let l = self.l_function(&x);
         mod_mul(&l, &self.mu, &pk.n)
+    }
+
+    /// `c^λ mod n²` by CRT over `p²` and `q²`.
+    ///
+    /// Valid ciphertexts are units mod `n²`, so the exponent reduces modulo the group
+    /// orders `φ(p²)` / `φ(q²)` (precomputed at key generation); Garner recombination
+    /// lifts the two residues to the unique representative mod `n² = p²·q²`.
+    fn pow_lambda_crt(&self, c: &BigUint) -> BigUint {
+        let x_p = self.ctx_p2().pow(&c.rem(&self.p_squared), &self.exp_p);
+        let x_q = self.ctx_q2().pow(&c.rem(&self.q_squared), &self.exp_q);
+        let diff = mod_sub(&x_q, &x_p.rem(&self.q_squared), &self.q_squared);
+        let h = mod_mul(&diff, &self.p2_inv_mod_q2, &self.q_squared);
+        x_p.add(&self.p_squared.mul(&h))
+    }
+
+    /// The shared Montgomery context for `p²`.
+    fn ctx_p2(&self) -> &Arc<ModulusCtx> {
+        self.ctx_p2.get_or_init(|| Arc::new(ModulusCtx::new(&self.p_squared)))
+    }
+
+    /// The shared Montgomery context for `q²`.
+    fn ctx_q2(&self) -> &Arc<ModulusCtx> {
+        self.ctx_q2.get_or_init(|| Arc::new(ModulusCtx::new(&self.q_squared)))
+    }
+
+    /// The prime factors `(p, q)` of the modulus (needed by callers implementing
+    /// factorisation-based extensions; handle with the same care as the key itself).
+    pub fn primes(&self) -> (&BigUint, &BigUint) {
+        (&self.p, &self.q)
     }
 
     /// The matching public key.
@@ -373,6 +580,61 @@ mod tests {
         let batch = kp.public.scalar_mul_batch(&Runtime::new(4), &pairs);
         for (i, (out, (c, k))) in batch.iter().zip(pairs.iter()).enumerate() {
             assert_eq!(out, &kp.public.scalar_mul(c, k), "pair {i}");
+        }
+    }
+
+    #[test]
+    fn crt_decrypt_matches_generic_decrypt() {
+        let kp = keypair(256, 22);
+        let mut rng = StdRng::seed_from_u64(23);
+        for v in [0u64, 1, 42, u64::MAX] {
+            let c = kp.public.encrypt(&mut rng, &BigUint::from_u64(v));
+            assert_eq!(kp.secret.decrypt(&c), kp.secret.decrypt_generic(&c));
+        }
+        // including non-trivially random plaintexts near the modulus
+        for _ in 0..5 {
+            let m = BigUint::random_below(&mut rng, &kp.public.n);
+            let c = kp.public.encrypt(&mut rng, &m);
+            assert_eq!(kp.secret.decrypt(&c), m);
+            assert_eq!(kp.secret.decrypt_generic(&c), m);
+        }
+    }
+
+    #[test]
+    fn montgomery_ciphertexts_match_schoolbook_path() {
+        // The engine must be a pure drop-in: same randomness, same ciphertext bits as
+        // computing (1 + m·n)·r^n mod n² with the schoolbook mod_pow.
+        let kp = keypair(256, 24);
+        let mut rng = StdRng::seed_from_u64(25);
+        for v in [0u64, 7, 123_456_789] {
+            let m = BigUint::from_u64(v).rem(&kp.public.n);
+            let r = BigUint::random_below(&mut rng, &kp.public.n);
+            if !uldp_bigint::gcd(&r, &kp.public.n).is_one() {
+                continue;
+            }
+            let engine = kp.public.encrypt_with_randomness(&m, &r);
+            let gm = BigUint::one().add(&m.mul(&kp.public.n)).rem(&kp.public.n_squared);
+            let rn = mod_pow(&r, &kp.public.n, &kp.public.n_squared);
+            let schoolbook = mod_mul(&gm, &rn, &kp.public.n_squared);
+            assert_eq!(engine.0, schoolbook);
+        }
+    }
+
+    #[test]
+    fn scalar_mul_ctx_matches_scalar_mul() {
+        let kp = keypair(256, 26);
+        let mut rng = StdRng::seed_from_u64(27);
+        let c = kp.public.encrypt(&mut rng, &BigUint::from_u64(9));
+        // Both the fixed-base (many expected muls) and the sliding-window (few) variants
+        // must agree with the one-shot scalar_mul — and with the schoolbook mod_pow.
+        for expected in [1usize, FIXED_BASE_MIN_MULS] {
+            let ctx = kp.public.scalar_mul_ctx(&c, expected);
+            for k in [0u64, 1, 5, 1 << 40] {
+                let k = BigUint::from_u64(k);
+                let hoisted = ctx.pow(&k);
+                assert_eq!(hoisted, kp.public.scalar_mul(&c, &k));
+                assert_eq!(hoisted.0, mod_pow(&c.0, &k.rem(&kp.public.n), &kp.public.n_squared));
+            }
         }
     }
 
