@@ -1,0 +1,102 @@
+//! Per-phase perf-trend check: diffs a fresh `BENCH_protocol.json` against a committed
+//! baseline and fails loudly on large regressions.
+//!
+//! CI regenerates the protocol smoke sections on every run; this binary joins the fresh
+//! report with `BENCH_baseline.json` on `(section, label, phase)` and flags every phase
+//! whose timing grew by more than `ULDP_TREND_FACTOR` (default 2× — deliberately
+//! conservative, since baseline and CI hardware differ) over a baseline of at least
+//! `ULDP_TREND_MIN_MS` (default 100 ms, so sub-millisecond phases don't trip on noise).
+//! Memory phases (`*_bytes`) are analytic and thread-independent, so they are held to
+//! the same factor — any growth there is a real footprint regression, not noise.
+//!
+//! Keys present in only one of the two files are reported but never fail the check
+//! (individual binaries may regenerate only their own sections). A missing or
+//! unparsable *baseline file* is an error: the check would silently pass forever.
+//!
+//! ```bash
+//! cargo run --release -p uldp-bench --bin bench_trend -- BENCH_baseline.json BENCH_protocol.json
+//! ```
+
+use std::collections::BTreeMap;
+use uldp_bench::report::{parse_report_phases, PhaseSample};
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(default)
+}
+
+fn load(path: &str) -> Vec<PhaseSample> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_trend: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let samples = parse_report_phases(&text);
+    if samples.is_empty() {
+        eprintln!("bench_trend: no phase samples found in {path}");
+        std::process::exit(2);
+    }
+    samples
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args.next().unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let fresh_path = args.next().unwrap_or_else(|| "BENCH_protocol.json".to_string());
+    let factor = env_f64("ULDP_TREND_FACTOR", 2.0);
+    let min_ms = env_f64("ULDP_TREND_MIN_MS", 100.0);
+
+    let baseline: BTreeMap<_, _> =
+        load(&baseline_path).into_iter().map(|s| (s.key(), s.value)).collect();
+    let fresh = load(&fresh_path);
+
+    println!(
+        "bench_trend: {fresh_path} vs {baseline_path} (fail factor {factor}x, \
+         baseline floor {min_ms} ms)"
+    );
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    let mut skipped_small = 0usize;
+    let mut unmatched = 0usize;
+    for sample in &fresh {
+        let Some(&base) = baseline.get(&sample.key()) else {
+            unmatched += 1;
+            continue;
+        };
+        if base < min_ms {
+            skipped_small += 1;
+            continue;
+        }
+        compared += 1;
+        let ratio = sample.value / base;
+        let marker = if ratio > factor { " REGRESSION" } else { "" };
+        println!(
+            "  {:<28} {:<40} {:<12} {:>12.1} -> {:>12.1}  ({ratio:>5.2}x){marker}",
+            sample.section, sample.label, sample.phase, base, sample.value
+        );
+        if ratio > factor {
+            regressions.push(format!(
+                "{} / {} / {}: {:.1} -> {:.1} ({ratio:.2}x > {factor}x)",
+                sample.section, sample.label, sample.phase, base, sample.value
+            ));
+        }
+    }
+    println!(
+        "bench_trend: compared {compared} phases \
+         ({skipped_small} below the {min_ms} ms floor, {unmatched} without a baseline key)"
+    );
+    if compared == 0 {
+        eprintln!("bench_trend: nothing comparable — baseline and fresh reports share no keys");
+        std::process::exit(2);
+    }
+    if !regressions.is_empty() {
+        eprintln!("bench_trend: {} phase(s) regressed past {factor}x:", regressions.len());
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+    println!("bench_trend: OK — no phase regressed past {factor}x");
+}

@@ -11,9 +11,12 @@
 //! 3. reports the per-phase timings and the parallel speedup, and appends them to
 //!    `BENCH_protocol.json`.
 //!
-//! It also runs the `modpow` engine comparison (generic vs Montgomery vs fixed-base on
-//! a 2048-bit `scalar_mul`-shaped batch, agreement asserted bitwise) and appends it as
-//! the `modpow` section of the same JSON; CI fails if that section is missing.
+//! It also records the round's peak transient fold-accumulator bytes (the streaming
+//! engine's measured O(chunks × dim) footprint, next to the seed shape's
+//! O(silos × dim) equivalent) as the `memory` section of the JSON, and runs the
+//! `modpow` engine comparison (generic vs Montgomery vs fixed-base on a 2048-bit
+//! `scalar_mul`-shaped batch, agreement asserted bitwise), appended as the `modpow`
+//! section; CI fails if either section is missing.
 //!
 //! The exit code is non-zero on any mismatch. Workload knobs: `ULDP_SMOKE_SILOS`,
 //! `ULDP_SMOKE_USERS`, `ULDP_SMOKE_PARAMS`, `ULDP_SMOKE_BITS`, `ULDP_MODPOW_BITS`,
@@ -113,6 +116,29 @@ fn main() {
         millis(cmp.seq_timings.total()),
     );
     println!("SPEEDUP {:.2}x at {threads} threads (bitwise-identical aggregates)", cmp.speedup);
+
+    // Transient delta-buffer footprint of the streaming cell fold (the measured
+    // O(chunks × dim) claim): the peak accumulator bytes the round kept alive, next to
+    // what the seed's materialise-then-reduce shape would have held (one ciphertext per
+    // (silo, coordinate) cell). The counts are analytic — identical at any thread
+    // count — so the section key carries no thread suffix.
+    let ct_bytes = protocol.modulus_bits().div_ceil(32) * 8; // n² limbs of the ciphertext
+    let materialised_equiv = num_silos * params * ct_bytes;
+    println!(
+        "MEMORY peak_fold_bytes={} materialised_equiv_bytes={materialised_equiv}",
+        cmp.peak_fold_bytes
+    );
+    let mut memory = BenchSection::new("memory", threads, paillier_bits);
+    let mut mem_entry =
+        BenchEntry::new(format!("silos={num_silos} users={num_users} params={params}"));
+    mem_entry
+        .phase("peak_fold_bytes", cmp.peak_fold_bytes as f64)
+        .phase("materialised_equiv_bytes", materialised_equiv as f64);
+    memory.entries.push(mem_entry);
+    match memory.write() {
+        Ok(path) => println!("Wrote memory section to {}", path.display()),
+        Err(e) => eprintln!("Failed to write memory section: {e}"),
+    }
 
     // The thread count — and the engine mode — are part of the section key so CI's
     // 1-thread, 4-thread and generic-path runs all survive in the merged report instead

@@ -159,6 +159,10 @@ pub struct RoundComparison {
     pub seq_timings: RoundTimings,
     /// Wall-clock speedup of the pooled round over the sequential one.
     pub speedup: f64,
+    /// Peak transient fold-accumulator bytes of the pooled round (the round's streaming
+    /// cell fold, read from the runtime's [`uldp_runtime::MemoryGauge`]). This is the
+    /// measured O(chunks × dim) footprint the `memory` report section records.
+    pub peak_fold_bytes: usize,
 }
 
 /// Runs `protocol`'s weighting round twice — on its configured (pooled) runtime with
@@ -175,7 +179,9 @@ pub fn pooled_vs_sequential_round(
     rng: &mut StdRng,
 ) -> (PrivateWeightingProtocol, RoundComparison) {
     let mut seq_rng = rng.clone();
+    protocol.runtime().fold_gauge().reset();
     let (aggregate, timings) = protocol.weighting_round(deltas, noises, None, rng);
+    let peak_fold_bytes = protocol.runtime().fold_gauge().peak();
     let protocol = protocol.with_runtime(Runtime::handle(1));
     let (seq_aggregate, seq_timings) = protocol.weighting_round(deltas, noises, None, &mut seq_rng);
     assert_eq!(
@@ -184,7 +190,7 @@ pub fn pooled_vs_sequential_round(
         "pooled and sequential aggregates must be bitwise-identical"
     );
     let speedup = seq_timings.total().as_secs_f64() / timings.total().as_secs_f64().max(1e-12);
-    (protocol, RoundComparison { aggregate, timings, seq_timings, speedup })
+    (protocol, RoundComparison { aggregate, timings, seq_timings, speedup, peak_fold_bytes })
 }
 
 #[cfg(test)]

@@ -152,6 +152,65 @@ impl BenchSection {
     }
 }
 
+/// One `(section, label, phase) → value` measurement extracted from a report file.
+///
+/// The flat view the trend checker (`bench_trend`) diffs across commits: two reports
+/// are comparable exactly on the keys they share.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseSample {
+    /// Section key (the producing binary's name, e.g. `protocol_smoke_t4`).
+    pub section: String,
+    /// Entry label within the section (the workload description).
+    pub label: String,
+    /// Phase name within the entry (e.g. `silo_enc`).
+    pub phase: String,
+    /// The recorded value (milliseconds for timing phases, bytes for memory phases).
+    pub value: f64,
+}
+
+impl PhaseSample {
+    /// The `(section, label, phase)` key two reports are joined on.
+    pub fn key(&self) -> (String, String, String) {
+        (self.section.clone(), self.label.clone(), self.phase.clone())
+    }
+}
+
+/// Extracts every `phases_ms` measurement of a report file into a flat list.
+///
+/// Like [`split_top_level_sections`], this parses exactly the structure this module
+/// writes (it scans for the `"label"` / `"phases_ms"` markers the serialiser emits);
+/// unparsable content yields an empty list. `null` values (non-finite measurements)
+/// are skipped.
+pub fn parse_report_phases(text: &str) -> Vec<PhaseSample> {
+    let mut out = Vec::new();
+    for (section, body) in split_top_level_sections(text) {
+        let mut rest = body.as_str();
+        while let Some(pos) = rest.find("\"label\": ") {
+            rest = &rest[pos + "\"label\": ".len()..];
+            let chars: Vec<char> = rest.chars().collect();
+            let Some((label, after)) = read_json_string(&chars, 0) else { break };
+            rest = &rest[chars[..after].iter().map(|c| c.len_utf8()).sum::<usize>()..];
+            let Some(ppos) = rest.find("\"phases_ms\": {") else { break };
+            let pairs_start = ppos + "\"phases_ms\": {".len();
+            let Some(pend) = rest[pairs_start..].find('}') else { break };
+            for pair in rest[pairs_start..pairs_start + pend].split(',') {
+                let Some((name, value)) = pair.split_once(':') else { continue };
+                let name = name.trim().trim_matches('"').to_string();
+                if let Ok(value) = value.trim().parse::<f64>() {
+                    out.push(PhaseSample {
+                        section: section.clone(),
+                        label: label.clone(),
+                        phase: name,
+                        value,
+                    });
+                }
+            }
+            rest = &rest[pairs_start + pend..];
+        }
+    }
+    out
+}
+
 /// The report path, honouring `ULDP_BENCH_JSON`.
 pub fn report_path() -> PathBuf {
     match std::env::var(REPORT_PATH_ENV) {
@@ -355,6 +414,38 @@ mod tests {
         assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
         assert_eq!(json_number(f64::INFINITY), "null");
         assert_eq!(json_number(1.5), "1.500000");
+    }
+
+    #[test]
+    fn parse_report_phases_roundtrips_written_sections() {
+        let dir = std::env::temp_dir().join(format!("uldp-parse-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_parse.json");
+        let _ = std::fs::remove_file(&path);
+        sample_section("alpha", 1).write_to(&path).unwrap();
+        sample_section("beta", 4).write_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let samples = parse_report_phases(&text);
+        assert_eq!(samples.len(), 4); // 2 sections × 2 phases
+        let alpha_silo = samples
+            .iter()
+            .find(|s| s.section == "alpha" && s.phase == "silo_enc")
+            .expect("alpha silo_enc present");
+        assert_eq!(alpha_silo.label, "users=10 \"quoted\"");
+        assert!((alpha_silo.value - 10.5).abs() < 1e-9);
+        // exponent-notation values (the sub-1e-3 serialisation) parse back
+        let mut tiny = BenchSection::new("tiny", 1, 512);
+        let mut entry = BenchEntry::new("t");
+        entry.phase("err", 3.2e-9);
+        tiny.entries.push(entry);
+        let body = format!("{{\n  \"tiny\": {}\n}}\n", tiny.to_json());
+        let parsed = parse_report_phases(&body);
+        assert_eq!(parsed.len(), 1);
+        assert!((parsed[0].value - 3.2e-9).abs() < 1e-15);
+        // garbage yields an empty list, mirroring split_top_level_sections
+        assert!(parse_report_phases("not json").is_empty());
     }
 
     #[test]

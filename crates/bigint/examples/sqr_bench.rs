@@ -1,0 +1,48 @@
+//! Micro-benchmark: dedicated Montgomery squaring vs the generic CIOS product of a
+//! value with itself, across modulus sizes.
+//!
+//! The sliding-window `pow` ladder is dominated by squarings, so this ratio is the
+//! expected gain on the exponentiation hot path. Results are asserted bit-identical
+//! while being timed. Single-core numbers on shared machines are noisy — prefer the
+//! median of a few runs.
+//!
+//! ```bash
+//! cargo run --release -p uldp-bigint --example sqr_bench
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use uldp_bigint::montgomery::ModulusCtx;
+use uldp_bigint::BigUint;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for bits in [512usize, 1024, 2048, 4096] {
+        let mut n = BigUint::random_with_bits(&mut rng, bits);
+        if n.is_even() {
+            n = n.add(&BigUint::one());
+        }
+        let ctx = ModulusCtx::new(&n);
+        let x = ctx.to_mont(&BigUint::random_below(&mut rng, &n));
+        // Keep total work roughly constant across sizes (cost grows ~quadratically).
+        let iters = 200_000_000 / (bits * bits / 64);
+        let t = Instant::now();
+        let mut a = x.clone();
+        for _ in 0..iters {
+            a = ctx.mont_mul(&a, &a);
+        }
+        let mul = t.elapsed();
+        let t = Instant::now();
+        let mut b = x.clone();
+        for _ in 0..iters {
+            b = ctx.mont_sqr(&b);
+        }
+        let sqr = t.elapsed();
+        assert_eq!(a, b, "squaring chain must match the mul(x, x) chain bit for bit");
+        println!(
+            "bits={bits}: {iters} iters | mul(x,x) {mul:?} | sqr {sqr:?} | ratio {:.2}x",
+            mul.as_secs_f64() / sqr.as_secs_f64()
+        );
+    }
+}

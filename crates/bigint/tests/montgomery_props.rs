@@ -74,6 +74,23 @@ proptest! {
     }
 
     #[test]
+    fn mont_sqr_is_pinned_to_mont_mul_of_self(
+        mod_limbs in prop::collection::vec(any::<u64>(), 1..32),
+        value_limbs in prop::collection::vec(any::<u64>(), 1..33),
+    ) {
+        // The dedicated squaring (halved cross products + separated reduction) must be a
+        // bit-exact drop-in for the generic CIOS product of a value with itself — this is
+        // what lets the sliding-window pow ladder use it without perturbing any
+        // ciphertext.
+        let n = odd_modulus(&mod_limbs);
+        let v = BigUint::from_limbs(value_limbs);
+        let ctx = ModulusCtx::new(&n);
+        let m = ctx.to_mont(&v);
+        prop_assert_eq!(ctx.mont_sqr(&m), ctx.mont_mul(&m, &m));
+        prop_assert_eq!(ctx.sqr(&v), uldp_bigint::modular::mod_mul(&v.rem(&n), &v.rem(&n), &n));
+    }
+
+    #[test]
     fn mont_roundtrip_is_identity(
         mod_limbs in prop::collection::vec(any::<u64>(), 1..32),
         value_limbs in prop::collection::vec(any::<u64>(), 1..32),

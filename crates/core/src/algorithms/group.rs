@@ -11,8 +11,8 @@
 //! ignoring the privacy cost of computing the flags themselves (a stated limitation of
 //! this baseline).
 
-use crate::aggregation::sum_deltas;
-use crate::algorithms::{apply_update, map_silos};
+use crate::algorithms::apply_update;
+use crate::algorithms::stream::DeltaAccumulator;
 use crate::config::{FlConfig, GroupSize};
 use crate::silo;
 use uldp_datasets::FederatedDataset;
@@ -64,8 +64,13 @@ pub fn build_contribution_flags(dataset: &FederatedDataset, k: u64) -> Vec<bool>
 ///
 /// `flags` must come from [`build_contribution_flags`] and stay constant across rounds.
 /// The silo-level DP-SGD loops (inherently sequential per silo: every step depends on
-/// the previous one) run as pooled per-silo tasks, including each silo's
-/// contribution-bound record filtering.
+/// the previous one) stream through a chunked fold over the silos: each chunk folds its
+/// silos' noisy deltas straight into one exact accumulator, so the per-silo delta
+/// vectors are never materialised together (O(chunks × dim) transient memory). Each
+/// silo's RNG is derived from `(round_seed, silo)` exactly as with
+/// [`crate::algorithms::map_silos`], so the
+/// round is bitwise-identical across all `(threads, chunk_size)` settings.
+/// [`FlConfig::shards`] does not apply here — a silo's DP-SGD loop cannot be split.
 pub fn run_round(
     rt: &Runtime,
     model: &mut Box<dyn Model>,
@@ -82,29 +87,52 @@ pub fn run_round(
     let global = model.parameters().to_vec();
     let dim = global.len();
     let template = model.clone_model();
-    let deltas = map_silos(rt, dataset.num_silos, round_seed, |silo_id, rng| {
-        let mut scratch = template.clone_model();
-        // D'_s: this silo's records that survive the contribution bound.
-        let records: Vec<&uldp_ml::Sample> = dataset
-            .records
-            .iter()
-            .zip(flags.iter())
-            .filter(|(r, &keep)| keep && r.silo == silo_id)
-            .map(|(r, _)| &r.sample)
-            .collect();
-        silo::dp_sgd(
-            scratch.as_mut(),
-            &global,
-            &records,
-            config.local_epochs,
-            config.local_lr,
-            config.clip_bound,
-            config.sigma,
-            sampling_rate,
-            rng,
+    // One fold task here covers whole *silos*, not (silo, user) pairs, so the training
+    // default of 16 tasks per chunk would collapse typical silo counts into a single
+    // sequential chunk. Default to one silo per chunk — the same per-silo pooled
+    // parallelism (and O(silos × dim) footprint) as the previous map_silos path — and
+    // let an explicit `FlConfig::chunk_size` coarsen it.
+    let chunk_size = if config.chunk_size != 0 { config.chunk_size } else { 1 };
+    rt.fold_gauge().record(
+        uldp_runtime::fold_chunk_ranges(dataset.num_silos, chunk_size).len()
+            * DeltaAccumulator::bytes(dim),
+    );
+    let aggregate = rt
+        .par_fold_seeded(
+            dataset.num_silos,
+            chunk_size,
+            round_seed,
+            || DeltaAccumulator::new(dim),
+            |acc, silo_id, rng| {
+                let mut scratch = template.clone_model();
+                // D'_s: this silo's records that survive the contribution bound.
+                let records: Vec<&uldp_ml::Sample> = dataset
+                    .records
+                    .iter()
+                    .zip(flags.iter())
+                    .filter(|(r, &keep)| keep && r.silo == silo_id)
+                    .map(|(r, _)| &r.sample)
+                    .collect();
+                let delta = silo::dp_sgd(
+                    scratch.as_mut(),
+                    &global,
+                    &records,
+                    config.local_epochs,
+                    config.local_lr,
+                    config.clip_bound,
+                    config.sigma,
+                    sampling_rate,
+                    rng,
+                );
+                acc.add(&delta);
+            },
+            |mut a, b| {
+                a.merge(b);
+                a
+            },
         )
-    });
-    let aggregate = sum_deltas(&deltas, dim);
+        .map(DeltaAccumulator::finish)
+        .unwrap_or_else(|| vec![0.0; dim]);
     apply_update(model.as_mut(), &aggregate, config.global_lr, 1.0 / dataset.num_silos as f64);
 }
 
@@ -185,6 +213,27 @@ mod tests {
         }
         let acc = uldp_ml::metrics::accuracy(model.as_ref(), &dataset.test);
         assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn default_chunking_keeps_one_fold_task_per_silo() {
+        // Regression guard: the silo-granularity fold must not inherit the per-user
+        // training chunk default (16), which would serialise every dataset with ≤ 16
+        // silos. At defaults the gauge must see one chunk partial per silo.
+        let dataset = tiny_federation(3, 5, 60);
+        let mut model = tiny_model();
+        let config = FlConfig {
+            method: Method::UldpGroup { group_size: GroupSize::Max, sampling_rate: 1.0 },
+            sigma: 0.0,
+            ..Default::default()
+        };
+        let flags =
+            build_contribution_flags(&dataset, resolve_group_size(&dataset, GroupSize::Max));
+        let rt = rt();
+        rt.fold_gauge().reset();
+        run_round(&rt, &mut model, &dataset, &config, &flags, 0);
+        let dim = model.num_parameters();
+        assert_eq!(rt.fold_gauge().last(), 3 * DeltaAccumulator::bytes(dim));
     }
 
     #[test]

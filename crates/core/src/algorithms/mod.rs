@@ -9,6 +9,7 @@
 pub mod default;
 pub mod group;
 pub mod naive;
+pub(crate) mod stream;
 pub mod uldp_avg;
 pub mod uldp_sgd;
 
@@ -72,25 +73,6 @@ pub(crate) fn participating_tasks(
                 .map(move |user| (silo_id, user))
         })
         .collect()
-}
-
-/// Accumulates per-task contributions into per-silo buffers, sequentially in task order —
-/// the deterministic (scheduling-independent) replacement for accumulating inside the
-/// parallel loop. Empty contributions (users with no records) are zero-length and add
-/// nothing.
-pub(crate) fn accumulate_per_silo(
-    tasks: &[(usize, usize)],
-    contributions: &[Vec<f64>],
-    num_silos: usize,
-    dim: usize,
-) -> Vec<Vec<f64>> {
-    let mut per_silo = vec![vec![0.0; dim]; num_silos];
-    for (&(silo_id, _), contribution) in tasks.iter().zip(contributions.iter()) {
-        for (acc, d) in per_silo[silo_id].iter_mut().zip(contribution.iter()) {
-            *acc += d;
-        }
-    }
-    per_silo
 }
 
 /// Applies the aggregated update to the global model:

@@ -1,0 +1,304 @@
+//! The streaming sharded round engine behind ULDP-AVG / ULDP-SGD (and, via
+//! [`crate::algorithms::group`], the per-silo DP-SGD aggregation).
+//!
+//! The seed implementation materialised one dim-length delta per participating
+//! `(silo, user)` task and then accumulated them sequentially — O(tasks × dim) transient
+//! memory per round, which caps how many users a silo can serve. This engine replaces
+//! that with chunked in-place folds on [`Runtime::par_fold_ranges`]:
+//!
+//! * each silo's participating users are split into [`FlConfig::shards`] contiguous
+//!   **shards** that run as independent pooled tasks (so one silo's round scales past a
+//!   single task), and each shard is further split into fixed-size **chunks** of
+//!   [`FlConfig::chunk_size`] tasks;
+//! * each `(silo, shard, chunk)` span folds its users' deltas into one
+//!   [`DeltaAccumulator`] — no per-task delta collection ever exists — giving
+//!   O(spans × dim) transient memory;
+//! * span partials merge per silo in span order.
+//!
+//! ## Determinism
+//!
+//! The accumulator is an **exact** fixed-point integer ([`DeltaAccumulator`]): adds and
+//! merges are integer additions, so the per-silo sums are independent of how tasks are
+//! grouped into spans and of which worker ran what. Together with the per-task RNG
+//! streams (a pure function of `(round_seed, silo, user)`), this makes every round
+//! **bitwise-identical across all `(threads, shards, chunk_size)` settings** — a
+//! strictly stronger guarantee than the seed's thread-count invariance, asserted by
+//! `tests/runtime_determinism.rs`.
+
+use std::ops::Range;
+use uldp_runtime::Runtime;
+
+/// Fixed-point scale (in bits) of the exact delta accumulator.
+///
+/// Contributions are quantised to multiples of 2⁻⁸⁰ (≈ 8.3·10⁻²⁵ — over ten orders of
+/// magnitude below f64's relative resolution at typical delta magnitudes) and summed as
+/// exact `i128` integers. Headroom: |Σ| < 2⁴⁷ ≈ 1.4·10¹⁴, far above any clipped-delta
+/// aggregate (|coordinate| ≤ C per user).
+const SCALE_BITS: i32 = 80;
+
+/// Default chunk size (tasks per fold span) for the training hot path when neither
+/// [`FlConfig::chunk_size`](crate::config::FlConfig::chunk_size) nor `ULDP_CHUNK` is
+/// set. Per-user training dominates each task, so modest chunks keep the pool busy
+/// without letting span partials approach the old per-task materialisation.
+pub(crate) const DEFAULT_TRAIN_CHUNK: usize = 16;
+
+/// An exact fixed-point accumulator for dim-length f64 delta vectors.
+///
+/// `add` quantises each coordinate to the 2⁻⁸⁰ grid (an exact operation up to the
+/// quantisation itself: scaling by a power of two is lossless, truncation is
+/// deterministic) and accumulates in `i128`. Integer addition is associative and
+/// commutative, so any grouping of `add`/`merge` calls over the same multiset of
+/// contributions produces identical bits — the property the sharded round engine's
+/// invariance guarantee rests on.
+#[derive(Clone, Debug)]
+pub(crate) struct DeltaAccumulator {
+    acc: Vec<i128>,
+}
+
+impl DeltaAccumulator {
+    /// A zeroed accumulator for `dim` coordinates.
+    pub(crate) fn new(dim: usize) -> Self {
+        DeltaAccumulator { acc: vec![0i128; dim] }
+    }
+
+    /// Transient footprint of one accumulator in bytes (what the fold sites report to
+    /// the runtime's [`uldp_runtime::MemoryGauge`]).
+    pub(crate) fn bytes(dim: usize) -> usize {
+        dim * std::mem::size_of::<i128>()
+    }
+
+    /// Adds a delta vector (must have the accumulator's dimensionality).
+    pub(crate) fn add(&mut self, delta: &[f64]) {
+        assert_eq!(delta.len(), self.acc.len(), "delta dimensionality mismatch");
+        let scale = 2f64.powi(SCALE_BITS);
+        for (a, &d) in self.acc.iter_mut().zip(delta.iter()) {
+            // Saturating cast + wrapping add: both deterministic, neither reachable for
+            // clipped training deltas.
+            *a = a.wrapping_add((d * scale) as i128);
+        }
+    }
+
+    /// Merges another accumulator in (exact, so merge order cannot change the result).
+    pub(crate) fn merge(&mut self, other: DeltaAccumulator) {
+        assert_eq!(other.acc.len(), self.acc.len(), "accumulator dimensionality mismatch");
+        for (a, b) in self.acc.iter_mut().zip(other.acc) {
+            *a = a.wrapping_add(b);
+        }
+    }
+
+    /// Rounds the exact sum back to f64 (one rounding for the whole sum, `i128 → f64`
+    /// is round-to-nearest and the power-of-two rescale is lossless).
+    pub(crate) fn finish(self) -> Vec<f64> {
+        let inv_scale = 2f64.powi(-SCALE_BITS);
+        self.acc.into_iter().map(|a| a as f64 * inv_scale).collect()
+    }
+}
+
+/// One fold span of a round: a contiguous run of task indices belonging to one silo.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct SiloSpan {
+    /// The silo every task in the span belongs to.
+    pub(crate) silo: usize,
+    /// Contiguous range into the flattened `(silo, user)` task list.
+    pub(crate) range: Range<usize>,
+}
+
+/// Builds the `(silo, shard, chunk)` span grid over a silo-major task list.
+///
+/// Each silo's contiguous task run is split into at most `shards` near-equal shards
+/// (empty shards are dropped), and each shard into chunks of `chunk_size` tasks. The
+/// grid depends only on the task list and the two knobs — never on the thread count.
+pub(crate) fn shard_spans(
+    tasks: &[(usize, usize)],
+    num_silos: usize,
+    shards: usize,
+    chunk_size: usize,
+) -> Vec<SiloSpan> {
+    debug_assert!(tasks.windows(2).all(|w| w[0].0 <= w[1].0), "task list must be silo-major");
+    let shards = shards.max(1);
+    let mut spans = Vec::new();
+    let mut silo_start = 0usize;
+    for silo in 0..num_silos {
+        let silo_end = tasks[silo_start..]
+            .iter()
+            .position(|&(s, _)| s != silo)
+            .map(|off| silo_start + off)
+            .unwrap_or(tasks.len());
+        let len = silo_end - silo_start;
+        // Near-equal shard split (first `len % shards` shards get one extra task).
+        let base = len / shards;
+        let extra = len % shards;
+        let mut shard_start = silo_start;
+        for shard in 0..shards {
+            let shard_len = base + usize::from(shard < extra);
+            if shard_len == 0 {
+                continue;
+            }
+            let shard_end = shard_start + shard_len;
+            let chunk = if chunk_size == 0 { shard_len } else { chunk_size.min(shard_len) };
+            let mut start = shard_start;
+            while start < shard_end {
+                let end = (start + chunk).min(shard_end);
+                spans.push(SiloSpan { silo, range: start..end });
+                start = end;
+            }
+            shard_start = shard_end;
+        }
+        silo_start = silo_end;
+    }
+    spans
+}
+
+/// Streams per-task contributions into per-silo delta sums on the worker pool.
+///
+/// `per_task(silo, user)` produces one task's (already weighted/clipped) delta, or
+/// `None` when the task contributes nothing; it is called exactly once per task, in a
+/// scheduling-independent order within each span. Returns one dim-length sum per silo
+/// (zeros for silos without contributions). Transient memory — reported to the
+/// runtime's fold gauge — is O(spans × dim) instead of the seed's O(tasks × dim).
+pub(crate) fn stream_silo_deltas<F>(
+    rt: &Runtime,
+    tasks: &[(usize, usize)],
+    num_silos: usize,
+    shards: usize,
+    chunk_size: usize,
+    dim: usize,
+    per_task: F,
+) -> Vec<Vec<f64>>
+where
+    F: Fn(usize, usize) -> Option<Vec<f64>> + Sync,
+{
+    let spans = shard_spans(tasks, num_silos, shards, chunk_size);
+    rt.fold_gauge().record(spans.len() * DeltaAccumulator::bytes(dim));
+    let ranges: Vec<Range<usize>> = spans.iter().map(|s| s.range.clone()).collect();
+    let partials = rt.par_fold_ranges(
+        &ranges,
+        || DeltaAccumulator::new(dim),
+        |acc, i| {
+            let (silo, user) = tasks[i];
+            if let Some(delta) = per_task(silo, user) {
+                acc.add(&delta);
+            }
+        },
+    );
+    // Exact per-silo merge in span order (spans are silo-major).
+    let mut per_silo: Vec<DeltaAccumulator> =
+        (0..num_silos).map(|_| DeltaAccumulator::new(dim)).collect();
+    for (span, partial) in spans.into_iter().zip(partials) {
+        per_silo[span.silo].merge(partial);
+    }
+    per_silo.into_iter().map(DeltaAccumulator::finish).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_is_exact_and_grouping_invariant() {
+        let values: Vec<Vec<f64>> =
+            (0..17).map(|i| vec![0.1 * i as f64, -0.37 + i as f64 * 1e-9]).collect();
+        // One big fold vs many partial merges in a different grouping.
+        let mut whole = DeltaAccumulator::new(2);
+        for v in &values {
+            whole.add(v);
+        }
+        let mut grouped = DeltaAccumulator::new(2);
+        for group in values.chunks(3).rev() {
+            let mut partial = DeltaAccumulator::new(2);
+            for v in group {
+                partial.add(v);
+            }
+            grouped.merge(partial);
+        }
+        let a = whole.finish();
+        let b = grouped.finish();
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // and the fixed-point sum tracks the real sum to quantisation precision
+        let expect: f64 = values.iter().map(|v| v[0]).sum();
+        assert!((a[0] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_spans_cover_the_task_list_in_order() {
+        let tasks: Vec<(usize, usize)> =
+            vec![(0, 0), (0, 1), (0, 2), (0, 3), (0, 4), (2, 0), (2, 1), (2, 2)];
+        for shards in [1usize, 2, 3, 10] {
+            for chunk in [0usize, 1, 2, 7] {
+                let spans = shard_spans(&tasks, 3, shards, chunk);
+                // spans tile the list exactly, in order
+                let mut expect = 0;
+                for span in &spans {
+                    assert_eq!(span.range.start, expect);
+                    expect = span.range.end;
+                    // every task in the span belongs to the span's silo
+                    assert!(tasks[span.range.clone()].iter().all(|&(s, _)| s == span.silo));
+                }
+                assert_eq!(expect, tasks.len(), "shards={shards} chunk={chunk}");
+            }
+        }
+        // shards=2, chunk=all: silo 0 (5 tasks) splits 3+2, silo 2 (3 tasks) splits 2+1
+        let spans = shard_spans(&tasks, 3, 2, 0);
+        let shape: Vec<(usize, usize)> = spans.iter().map(|s| (s.silo, s.range.len())).collect();
+        assert_eq!(shape, vec![(0, 3), (0, 2), (2, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn stream_matches_naive_accumulation_and_is_structure_invariant() {
+        let tasks: Vec<(usize, usize)> =
+            (0..3).flat_map(|s| (0..11).map(move |u| (s, u))).collect();
+        let dim = 4;
+        let per_task = |silo: usize, user: usize| {
+            if user == 5 {
+                return None; // tasks may contribute nothing
+            }
+            Some((0..dim).map(|j| (silo * 100 + user * 7 + j) as f64 * 0.013 - 1.5).collect())
+        };
+        let reference = stream_silo_deltas(&Runtime::new(1), &tasks, 3, 1, 0, dim, per_task);
+        // naive sum tracks it to quantisation precision
+        for (silo, sums) in reference.iter().enumerate() {
+            for j in 0..dim {
+                let expect: f64 = (0..11).filter_map(|u| per_task(silo, u).map(|d| d[j])).sum();
+                assert!((sums[j] - expect).abs() < 1e-12, "silo {silo} coord {j}");
+            }
+        }
+        let bits = |deltas: &Vec<Vec<f64>>| {
+            deltas.iter().flat_map(|d| d.iter().map(|v| v.to_bits())).collect::<Vec<_>>()
+        };
+        // bitwise-identical across every (threads, shards, chunk) combination
+        for threads in [1usize, 2, 4] {
+            let rt = Runtime::new(threads);
+            for shards in [1usize, 2, 3] {
+                for chunk in [1usize, 7, 0] {
+                    let out = stream_silo_deltas(&rt, &tasks, 3, shards, chunk, dim, per_task);
+                    assert_eq!(
+                        bits(&out),
+                        bits(&reference),
+                        "threads={threads} shards={shards} chunk={chunk}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_task_list_yields_zero_sums() {
+        let out = stream_silo_deltas(&Runtime::new(2), &[], 2, 3, 4, 3, |_, _| {
+            panic!("no tasks to fold")
+        });
+        assert_eq!(out, vec![vec![0.0; 3]; 2]);
+    }
+
+    #[test]
+    fn gauge_reports_span_count_times_accumulator_bytes() {
+        let tasks: Vec<(usize, usize)> = (0..10).map(|u| (0, u)).collect();
+        let rt = Runtime::new(1);
+        rt.fold_gauge().reset();
+        let _ = stream_silo_deltas(&rt, &tasks, 1, 2, 5, 6, |_, _| Some(vec![0.0; 6]));
+        // 2 shards × 5 tasks, chunk 5 → one span per shard
+        assert_eq!(rt.fold_gauge().last(), 2 * DeltaAccumulator::bytes(6));
+    }
+}

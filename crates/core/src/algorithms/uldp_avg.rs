@@ -12,9 +12,7 @@
 //! Algorithm 4).
 
 use crate::aggregation::{add_gaussian_noise, sum_deltas};
-use crate::algorithms::{
-    accumulate_per_silo, apply_update, noise_rng, participating_tasks, task_rng,
-};
+use crate::algorithms::{apply_update, noise_rng, participating_tasks, stream, task_rng};
 use crate::config::FlConfig;
 use crate::silo;
 use crate::weighting::WeightMatrix;
@@ -28,11 +26,13 @@ use uldp_runtime::Runtime;
 /// expressed by passing a weight matrix whose unsampled users are zeroed
 /// ([`WeightMatrix::masked_by_sampling`]) together with the matching `sampling_q`.
 ///
-/// The per-user local training loops — the algorithm's dominant cost (Section 3.4) — are
-/// flattened across silos into one parallel region. Each `(silo, user)` task trains with
-/// an RNG derived from `(round_seed, silo, user)`, and each silo draws its Gaussian noise
-/// from a separate per-silo stream, so the round is bitwise-identical at any thread
-/// count.
+/// The per-user local training loops — the algorithm's dominant cost (Section 3.4) — run
+/// on the streaming sharded round engine ([`crate::algorithms::stream`]): each silo's
+/// users are split into [`FlConfig::shards`] pooled shards whose chunks fold weighted
+/// deltas in place (O(chunks × dim) transient memory instead of O(users × dim)). Each
+/// `(silo, user)` task trains with an RNG derived from `(round_seed, silo, user)` and
+/// each silo draws its Gaussian noise from a separate per-silo stream, so the round is
+/// bitwise-identical across all `(threads, shards, chunk_size)` settings.
 pub fn run_round(
     rt: &Runtime,
     model: &mut Box<dyn Model>,
@@ -50,35 +50,40 @@ pub fn run_round(
 
     let tasks = participating_tasks(dataset, weights);
 
-    let contributions: Vec<Vec<f64>> = rt.par_map(&tasks, |_, &(silo_id, user)| {
-        let records = dataset.silo_user_records(silo_id, user);
-        if records.is_empty() {
-            return Vec::new();
-        }
-        let mut rng = task_rng(round_seed, dataset.num_users, silo_id, user);
-        let mut scratch = template.clone_model();
-        // Per-user local training with Q epochs on D_{s,u} (full-batch per epoch —
-        // per-user datasets are small).
-        let mut delta = silo::local_train(
-            scratch.as_mut(),
-            &global,
-            &records,
-            config.local_epochs,
-            config.local_lr,
-            records.len().max(1),
-            &mut rng,
-        );
-        clipping::clip_to_norm(&mut delta, config.clip_bound);
-        let w = weights.get(silo_id, user);
-        for d in delta.iter_mut() {
-            *d *= w;
-        }
-        delta
-    });
-
-    // Deterministic sequential accumulation in task order, then per-silo noise from
-    // dedicated streams.
-    let mut deltas = accumulate_per_silo(&tasks, &contributions, dataset.num_silos, dim);
+    let mut deltas = stream::stream_silo_deltas(
+        rt,
+        &tasks,
+        dataset.num_silos,
+        config.resolved_shards(),
+        config.resolved_chunk_size(),
+        dim,
+        |silo_id, user| {
+            let records = dataset.silo_user_records(silo_id, user);
+            if records.is_empty() {
+                return None;
+            }
+            let mut rng = task_rng(round_seed, dataset.num_users, silo_id, user);
+            let mut scratch = template.clone_model();
+            // Per-user local training with Q epochs on D_{s,u} (full-batch per epoch —
+            // per-user datasets are small).
+            let mut delta = silo::local_train(
+                scratch.as_mut(),
+                &global,
+                &records,
+                config.local_epochs,
+                config.local_lr,
+                records.len().max(1),
+                &mut rng,
+            );
+            clipping::clip_to_norm(&mut delta, config.clip_bound);
+            let w = weights.get(silo_id, user);
+            for d in delta.iter_mut() {
+                *d *= w;
+            }
+            Some(delta)
+        },
+    );
+    // Per-silo noise from dedicated streams on top of the streamed per-silo sums.
     for (silo_id, silo_delta) in deltas.iter_mut().enumerate() {
         add_gaussian_noise(silo_delta, noise_std, &mut noise_rng(round_seed, silo_id));
     }

@@ -6,7 +6,7 @@
 //! relationship as FedSGD vs FedAVG), which Figures 4–7 confirm.
 
 use crate::aggregation::{add_gaussian_noise, sum_deltas};
-use crate::algorithms::{accumulate_per_silo, apply_update, noise_rng, participating_tasks};
+use crate::algorithms::{apply_update, noise_rng, participating_tasks, stream};
 use crate::config::FlConfig;
 use crate::silo;
 use crate::weighting::WeightMatrix;
@@ -16,9 +16,10 @@ use uldp_runtime::Runtime;
 
 /// Runs one ULDP-SGD round on the worker pool, updating `model` in place.
 ///
-/// The per-user gradient computations are flattened across silos into one parallel
-/// region (they consume no randomness); per-silo Gaussian noise comes from dedicated
-/// seeded streams, so the round is bitwise-identical at any thread count.
+/// The per-user gradient computations run on the streaming sharded round engine
+/// ([`crate::algorithms::stream`]) like ULDP-AVG's training loops (they consume no
+/// randomness); per-silo Gaussian noise comes from dedicated seeded streams, so the
+/// round is bitwise-identical across all `(threads, shards, chunk_size)` settings.
 pub fn run_round(
     rt: &Runtime,
     model: &mut Box<dyn Model>,
@@ -36,22 +37,28 @@ pub fn run_round(
 
     let tasks = participating_tasks(dataset, weights);
 
-    let contributions: Vec<Vec<f64>> = rt.par_map(&tasks, |_, &(silo_id, user)| {
-        let records = dataset.silo_user_records(silo_id, user);
-        if records.is_empty() {
-            return Vec::new();
-        }
-        let mut scratch = template.clone_model();
-        let mut grad = silo::local_gradient(scratch.as_mut(), &global, &records);
-        clipping::clip_to_norm(&mut grad, config.clip_bound);
-        let w = weights.get(silo_id, user);
-        for g in grad.iter_mut() {
-            *g *= w;
-        }
-        grad
-    });
-
-    let mut gradients = accumulate_per_silo(&tasks, &contributions, dataset.num_silos, dim);
+    let mut gradients = stream::stream_silo_deltas(
+        rt,
+        &tasks,
+        dataset.num_silos,
+        config.resolved_shards(),
+        config.resolved_chunk_size(),
+        dim,
+        |silo_id, user| {
+            let records = dataset.silo_user_records(silo_id, user);
+            if records.is_empty() {
+                return None;
+            }
+            let mut scratch = template.clone_model();
+            let mut grad = silo::local_gradient(scratch.as_mut(), &global, &records);
+            clipping::clip_to_norm(&mut grad, config.clip_bound);
+            let w = weights.get(silo_id, user);
+            for g in grad.iter_mut() {
+                *g *= w;
+            }
+            Some(grad)
+        },
+    );
     for (silo_id, silo_grad) in gradients.iter_mut().enumerate() {
         add_gaussian_noise(silo_grad, noise_std, &mut noise_rng(round_seed, silo_id));
     }

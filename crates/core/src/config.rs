@@ -2,6 +2,10 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Name of the environment variable backing [`FlConfig::shards`]` = 0` (a positive
+/// number of shards per silo).
+pub const SHARDS_ENV: &str = "ULDP_SHARDS";
+
 /// Which per-user clipping weights `w_{s,u}` to use in ULDP-AVG / ULDP-SGD.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum WeightingStrategy {
@@ -107,6 +111,20 @@ pub struct FlConfig {
     /// other value builds a dedicated pool. Training results are bitwise-identical at any
     /// setting.
     pub threads: usize,
+    /// Shards per silo for the streaming round engine: each silo's participating users
+    /// are split into this many contiguous shards that run as independent pooled tasks,
+    /// so one silo's round scales past a single task. `0` reads `ULDP_SHARDS`, falling
+    /// back to `1`. Training results are bitwise-identical at any setting.
+    pub shards: usize,
+    /// Fold chunk size (tasks per chunk) of the streaming round engine: each shard
+    /// streams its users in chunks of this many tasks, each folding one dim-length
+    /// partial in place — transient round memory is O(chunks × dim) instead of
+    /// O(users × dim). `0` reads `ULDP_CHUNK`, falling back to a small default.
+    /// Exception: ULDP-GROUP folds whole *silos*, not `(silo, user)` pairs, so at `0`
+    /// it uses one silo per chunk and ignores `ULDP_CHUNK` (a per-user-sized value
+    /// there would serialise typical silo counts); an explicit non-zero value still
+    /// wins. Training results are bitwise-identical at any setting.
+    pub chunk_size: usize,
 }
 
 impl Default for FlConfig {
@@ -125,6 +143,8 @@ impl Default for FlConfig {
             eval_every: 1,
             seed: 42,
             threads: 0,
+            shards: 0,
+            chunk_size: 0,
         }
     }
 }
@@ -146,6 +166,33 @@ impl FlConfig {
             }
         }
         cfg
+    }
+
+    /// The effective shard count: a non-zero [`FlConfig::shards`] wins, otherwise
+    /// `ULDP_SHARDS`, otherwise `1`.
+    pub fn resolved_shards(&self) -> usize {
+        if self.shards != 0 {
+            return self.shards;
+        }
+        match std::env::var(SHARDS_ENV) {
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    eprintln!("warning: ignoring invalid {SHARDS_ENV}={raw:?}; using 1 shard");
+                    1
+                }
+            },
+            Err(_) => 1,
+        }
+    }
+
+    /// The effective fold chunk size: a non-zero [`FlConfig::chunk_size`] wins,
+    /// otherwise `ULDP_CHUNK`, otherwise the engine default.
+    pub fn resolved_chunk_size(&self) -> usize {
+        uldp_runtime::resolve_chunk_size(
+            self.chunk_size,
+            crate::algorithms::stream::DEFAULT_TRAIN_CHUNK,
+        )
     }
 
     /// Validates parameter ranges, panicking with a descriptive message when invalid.
@@ -217,6 +264,22 @@ mod tests {
     #[test]
     fn default_config_is_valid() {
         FlConfig::default().validate();
+    }
+
+    #[test]
+    fn shard_and_chunk_knobs_resolve_explicit_values() {
+        // Only the explicit-configuration path is testable without mutating the process
+        // environment (racy with concurrently running tests).
+        let cfg = FlConfig { shards: 3, chunk_size: 7, ..Default::default() };
+        assert_eq!(cfg.resolved_shards(), 3);
+        assert_eq!(cfg.resolved_chunk_size(), 7);
+        let auto = FlConfig::default();
+        if std::env::var(SHARDS_ENV).is_err() {
+            assert_eq!(auto.resolved_shards(), 1);
+        }
+        if std::env::var(uldp_runtime::CHUNK_ENV).is_err() {
+            assert_eq!(auto.resolved_chunk_size(), crate::algorithms::stream::DEFAULT_TRAIN_CHUNK);
+        }
     }
 
     #[test]

@@ -27,11 +27,18 @@
 //! The per-(silo, user) Paillier work — server-side encryption of the blinded inverses
 //! (step 2.a), silo-side weighted `scalar_mul` of the clipped deltas (2.b) and the
 //! homomorphic aggregation plus decryption (2.c) — runs on the deterministic
-//! [`uldp_runtime::Runtime`] worker pool. All encryption randomness is derived per user
-//! index from a single 256-bit seed drawn from the caller's RNG, so every ciphertext and
-//! the decrypted aggregate are bitwise-identical at any thread count
-//! (`ProtocolConfig::threads`, `ULDP_THREADS`); `RoundTimings` still reports each phase's
-//! wall-clock separately (timings, being wall-clock, naturally vary).
+//! [`uldp_runtime::Runtime`] worker pool. Steps 2.(b)–(c) stream through one chunked
+//! fold over the `(silo, coordinate)` cells in coordinate-major order
+//! ([`uldp_runtime::Runtime::par_fold_reduce`]): each chunk folds its cells straight
+//! into per-coordinate ciphertext totals, so no per-cell ciphertext collection is ever
+//! materialised — O(dim + chunks) transient ciphertexts instead of O(silos × dim) —
+//! and only the per-coordinate totals reach the decryption pass. All encryption
+//! randomness is derived per user index from a single 256-bit seed drawn from the
+//! caller's RNG, and ciphertext accumulation is exact modular arithmetic, so every
+//! ciphertext and the decrypted aggregate are bitwise-identical at any thread count and
+//! chunk size (`ProtocolConfig::threads` / `ULDP_THREADS`,
+//! `ProtocolConfig::chunk_size` / `ULDP_CHUNK`); `RoundTimings` still reports each
+//! phase's wall-clock separately (timings, being wall-clock, naturally vary).
 //!
 //! All exponentiations run on the Montgomery engine of `uldp-bigint` through contexts
 //! cached in the Paillier keys (built once at setup, shared by every round): step 2.(a)
@@ -76,7 +83,18 @@ pub struct ProtocolConfig {
     /// runtime (`ULDP_THREADS` / available parallelism), `1` forces sequential execution,
     /// any other value builds a dedicated pool. Results are bitwise-identical regardless.
     pub threads: usize,
+    /// Fold chunk size (cells per chunk) for the streaming `(silo, coordinate)` cell
+    /// fold of step 2.(b)–(c): `0` reads `ULDP_CHUNK`, falling back to a small default.
+    /// Ciphertext accumulation is exact modular arithmetic, so results are
+    /// bitwise-identical at any setting.
+    pub chunk_size: usize,
 }
+
+/// Default cells-per-chunk of the protocol's streaming fold when neither
+/// [`ProtocolConfig::chunk_size`] nor `ULDP_CHUNK` is set. Each cell already amortises
+/// one Paillier exponentiation per participating user, so fine chunks cost little and
+/// keep the pool balanced even for small `silos × dim` grids.
+const DEFAULT_PROTOCOL_CHUNK: usize = 4;
 
 impl Default for ProtocolConfig {
     fn default() -> Self {
@@ -87,6 +105,7 @@ impl Default for ProtocolConfig {
             precision: 1e-10,
             n_max: 64,
             threads: 0,
+            chunk_size: 0,
         }
     }
 }
@@ -104,6 +123,7 @@ impl ProtocolConfig {
             precision: 1e-10,
             n_max: 2000,
             threads: 0,
+            chunk_size: 0,
         }
     }
 }
@@ -131,9 +151,11 @@ impl ProtocolTimings {
 pub struct RoundTimings {
     /// Server-side Poisson sampling and Paillier encryption of the blinded inverses (2.a).
     pub server_encryption: Duration,
-    /// Silo-side weighted encryption of clipped deltas and noise (2.b), summed over silos.
+    /// Silo-side weighted encryption of clipped deltas and noise (2.b) plus the fused
+    /// homomorphic cross-silo summation, streamed over all silos.
     pub silo_weighting: Duration,
-    /// Server-side homomorphic aggregation, decryption and decoding (2.c).
+    /// Server-side decryption and decoding (2.c). (The homomorphic aggregation itself is
+    /// fused into the streaming silo-weighting fold.)
     pub aggregation: Duration,
 }
 
@@ -217,6 +239,9 @@ pub struct PrivateWeightingProtocol {
     /// Worker pool for the parallel phases (shared, or dedicated per
     /// [`ProtocolConfig::threads`]).
     runtime: Arc<Runtime>,
+    /// Resolved cells-per-chunk of the streaming cell fold
+    /// ([`ProtocolConfig::chunk_size`] / `ULDP_CHUNK` / default).
+    chunk_size: usize,
 }
 
 impl PrivateWeightingProtocol {
@@ -329,6 +354,7 @@ impl PrivateWeightingProtocol {
                 inverse_computation,
             },
             runtime,
+            chunk_size: uldp_runtime::resolve_chunk_size(config.chunk_size, DEFAULT_PROTOCOL_CHUNK),
         }
     }
 
@@ -457,6 +483,7 @@ impl PrivateWeightingProtocol {
         assert_eq!(clipped_deltas.len(), self.num_silos, "one delta set per silo required");
         assert_eq!(noises.len(), self.num_silos, "one noise vector per silo required");
         let dim = noises[0].len();
+        assert!(dim > 0, "model dimension must be positive");
 
         // Server side: build the OT offers (step 2.a extended with dummies). Every user's
         // offer and transfer draw from an RNG derived from a 256-bit (seed, u) stream, so
@@ -554,12 +581,25 @@ impl PrivateWeightingProtocol {
                 self.paillier.public.scalar_mul_ctx(&encrypted_inverses[u], expected_muls)
             })
         });
-        // Step 2.(b): every (silo, coordinate) cell is independent — the Paillier
-        // `scalar_mul` per user inside it is the protocol's dominant cost (Figures
-        // 10–11) — so the cells are flattened into one parallel region.
-        let cells: Vec<Ciphertext> = rt.par_map_range(self.num_silos * dim, |idx| {
-            let silo = idx / dim;
-            let j = idx % dim;
+        // Steps 2.(b)+(c) silo side: every (silo, coordinate) cell is independent — the
+        // Paillier `scalar_mul` per user inside it is the protocol's dominant cost
+        // (Figures 10–11) — and ciphertext addition is exact modular arithmetic, so the
+        // cells stream through one chunked fold in coordinate-major order: each chunk
+        // folds its cells straight into per-coordinate ciphertext totals (the cross-silo
+        // homomorphic sum is fused into the fold), and chunk partials combine in fixed
+        // cell order. No per-cell ciphertext collection is ever materialised — transient
+        // memory is O(dim + chunks) ciphertexts instead of O(silos × dim) — and the
+        // result is bitwise-identical at any (threads, chunk_size) setting.
+        let num_cells = dim * self.num_silos;
+        let chunk_size = self.chunk_size;
+        let cell_ranges = uldp_runtime::fold_chunk_ranges(num_cells, chunk_size);
+        let ct_bytes = self.paillier.public.n_squared.bit_length().div_ceil(64) * 8;
+        let partial_entries: usize = cell_ranges
+            .iter()
+            .map(|r| (r.end - 1) / self.num_silos - r.start / self.num_silos + 1)
+            .sum();
+        rt.fold_gauge().record(partial_entries * ct_bytes);
+        let compute_cell = |silo: usize, j: usize| -> Ciphertext {
             let mut acc = self.paillier.public.trivial_zero();
             for (u, delta) in clipped_deltas[silo].iter().enumerate() {
                 if self.silo_histograms[silo][u] == 0 || delta.is_empty() {
@@ -572,21 +612,44 @@ impl PrivateWeightingProtocol {
             }
             let noise_scalar = mod_mul(&self.codec.encode(noises[silo][j]), &self.c_lcm, n);
             self.paillier.public.add_plain(&acc, &noise_scalar)
-        });
-        let mut cells = cells;
-        let per_silo_ciphertexts: Vec<Vec<Ciphertext>> =
-            (0..self.num_silos).map(|_| cells.drain(..dim).collect()).collect();
+        };
+        // Chunk partials carry (coordinate, running total) pairs; a chunk touches at
+        // most ⌈chunk/|S|⌉ + 1 coordinates, and partials merge at shared boundaries.
+        let fold_cell = |acc: &mut Vec<(usize, Ciphertext)>, idx: usize| {
+            let j = idx / self.num_silos;
+            let silo = idx % self.num_silos;
+            let cell = compute_cell(silo, j);
+            match acc.last_mut() {
+                Some((last_j, total)) if *last_j == j => {
+                    *total = self.paillier.public.add(total, &cell);
+                }
+                _ => acc.push((j, cell)),
+            }
+        };
+        let merge = |mut a: Vec<(usize, Ciphertext)>, b: Vec<(usize, Ciphertext)>| {
+            for (j, partial) in b {
+                match a.last_mut() {
+                    Some((last_j, total)) if *last_j == j => {
+                        *total = self.paillier.public.add(total, &partial);
+                    }
+                    _ => a.push((j, partial)),
+                }
+            }
+            a
+        };
+        let totals: Vec<Ciphertext> = rt
+            .par_fold_reduce(num_cells, chunk_size, Vec::new, fold_cell, merge)
+            .expect("at least one (silo, coordinate) cell")
+            .into_iter()
+            .map(|(_, total)| total)
+            .collect();
+        debug_assert_eq!(totals.len(), dim);
         let silo_weighting = silo_start.elapsed();
 
-        // Step 2.(c): fixed-shape tree reduction over the silo ciphertext vectors
-        // (ciphertext addition is exact modular arithmetic, so the tree shape cannot
-        // change the result), then parallel decryption — one `c^λ mod n²` per coordinate.
+        // Step 2.(c) server side: parallel decryption — one CRT `c^λ mod n²` per
+        // coordinate — and fixed-point decoding. (The homomorphic cross-silo sum is
+        // fused into the streaming fold above.)
         let agg_start = Instant::now();
-        let totals: Vec<Ciphertext> = rt
-            .par_reduce(per_silo_ciphertexts, |a, b| {
-                a.iter().zip(b.iter()).map(|(x, y)| self.paillier.public.add(x, y)).collect()
-            })
-            .expect("at least two silos");
         let out: Vec<f64> = rt.par_map(&totals, |_, total| {
             let decrypted = self.paillier.secret.decrypt(total);
             self.codec.decode(&decrypted, &self.c_lcm)

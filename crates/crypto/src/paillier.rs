@@ -354,6 +354,30 @@ impl PaillierPublicKey {
         rt.par_reduce(level, |a, b| self.add(&a, &b)).expect("level is non-empty")
     }
 
+    /// Sums a slice of ciphertexts with a streaming chunked fold
+    /// ([`Runtime::par_fold_reduce`]): the items are split into fixed-size chunks whose
+    /// shape depends only on `(len, chunk_size)`, each chunk folds its ciphertexts into
+    /// one running product in place, and chunk partials combine in fixed order — no
+    /// intermediate tree level is ever materialised. Ciphertext addition is exact
+    /// modular arithmetic, so the result is bitwise-identical to
+    /// [`PaillierPublicKey::sum`] and [`PaillierPublicKey::sum_par`] at any thread count
+    /// and any chunk size. `chunk_size = 0` means one chunk (sequential accumulation).
+    pub fn sum_par_chunked(
+        &self,
+        rt: &Runtime,
+        items: &[Ciphertext],
+        chunk_size: usize,
+    ) -> Ciphertext {
+        rt.par_fold_reduce(
+            items.len(),
+            chunk_size,
+            || self.trivial_zero(),
+            |acc, i| *acc = self.add(acc, &items[i]),
+            |a, b| self.add(&a, &b),
+        )
+        .unwrap_or_else(|| self.trivial_zero())
+    }
+
     /// Samples a uniformly random unit modulo `n`.
     ///
     /// The gcd test alone rejects zero (`gcd(0, n) = n ≠ 1`), so no separate zero
@@ -649,5 +673,26 @@ mod tests {
         assert_eq!(kp.secret.decrypt(&tree), BigUint::from_u64((1..=13).sum()));
         // empty input is the additive identity
         assert_eq!(kp.public.sum_par(&Runtime::new(2), &[]), kp.public.trivial_zero());
+    }
+
+    #[test]
+    fn sum_par_chunked_matches_sequential_sum_at_any_chunk_size() {
+        let kp = keypair(256, 28);
+        let mut rng = StdRng::seed_from_u64(29);
+        let ciphertexts: Vec<Ciphertext> =
+            (1..=17u64).map(|v| kp.public.encrypt(&mut rng, &BigUint::from_u64(v))).collect();
+        let expected = kp.public.sum(ciphertexts.iter());
+        for threads in [1usize, 4] {
+            let rt = Runtime::new(threads);
+            for chunk in [0usize, 1, 3, 16, usize::MAX] {
+                assert_eq!(
+                    kp.public.sum_par_chunked(&rt, &ciphertexts, chunk),
+                    expected,
+                    "threads={threads} chunk={chunk}"
+                );
+            }
+        }
+        // empty input is the additive identity
+        assert_eq!(kp.public.sum_par_chunked(&Runtime::new(2), &[], 4), kp.public.trivial_zero());
     }
 }

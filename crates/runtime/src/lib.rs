@@ -17,6 +17,14 @@
 //!   randomness (encryption randomizers), preserving the source RNG's full entropy.
 //! * [`Runtime::par_reduce`] — a fixed-shape binary tree reduction whose shape depends
 //!   only on the input length, never on scheduling.
+//! * [`Runtime::par_fold_reduce`] / [`Runtime::par_fold_seeded`] — streaming chunked
+//!   folds: `0..n` is split into **fixed-size chunks whose shape depends only on
+//!   `(n, chunk_size)`**, never on the thread count; each chunk folds its indices into
+//!   one accumulator in index order (no per-task value is ever materialised), and the
+//!   chunk partials combine left-to-right in chunk order. Transient memory is
+//!   O(chunks × accumulator) instead of O(n × item). [`Runtime::par_fold_ranges`] is
+//!   the underlying span-level building block for callers (e.g. the sharded round
+//!   engine in `uldp-core`) that derive their own chunk grid.
 //!
 //! ## Sizing
 //!
@@ -45,6 +53,15 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// Name of the environment variable that overrides the global pool size.
 pub const THREADS_ENV: &str = "ULDP_THREADS";
 
+/// Name of the environment variable that overrides the default streaming-fold chunk size
+/// (a positive number of tasks per chunk) for components left at `chunk_size = 0`.
+///
+/// Chunk shape never affects the *structure-invariant* call sites (exact integer /
+/// modular accumulation, or the exact fixed-point delta accumulation in `uldp-core`);
+/// it only trades transient memory (O(chunks × accumulator)) against load-balancing
+/// granularity.
+pub const CHUNK_ENV: &str = "ULDP_CHUNK";
+
 /// How many chunks each worker gets on average in a `par_map`; > 1 smooths imbalance
 /// between chunks without making per-chunk overhead noticeable.
 const CHUNKS_PER_THREAD: usize = 4;
@@ -57,6 +74,45 @@ const CHUNKS_PER_THREAD: usize = 4;
 pub struct Runtime {
     threads: usize,
     pool: Option<Pool>,
+    fold_gauge: MemoryGauge,
+}
+
+/// Records the transient accumulator footprint of streaming-fold regions.
+///
+/// Fold call sites report the bytes of chunk partials a region keeps alive
+/// ([`MemoryGauge::record`]); benchmarks read the per-round peak to turn the
+/// "O(chunks × dim) instead of O(tasks × dim)" claim into a measured number. The counts
+/// are analytic (spans × accumulator size), so they are identical at any thread count.
+#[derive(Debug, Default)]
+pub struct MemoryGauge {
+    last: std::sync::atomic::AtomicUsize,
+    peak: std::sync::atomic::AtomicUsize,
+}
+
+impl MemoryGauge {
+    /// Records the live accumulator bytes of one fold region.
+    pub fn record(&self, bytes: usize) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.last.store(bytes, Relaxed);
+        self.peak.fetch_max(bytes, Relaxed);
+    }
+
+    /// The bytes recorded by the most recent fold region.
+    pub fn last(&self) -> usize {
+        self.last.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The largest bytes recorded since the last [`MemoryGauge::reset`].
+    pub fn peak(&self) -> usize {
+        self.peak.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Clears both readings (call before the region of interest, e.g. one round).
+    pub fn reset(&self) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.last.store(0, Relaxed);
+        self.peak.store(0, Relaxed);
+    }
 }
 
 impl std::fmt::Debug for Runtime {
@@ -71,7 +127,7 @@ impl Runtime {
     pub fn new(threads: usize) -> Runtime {
         let threads = threads.max(1);
         let pool = if threads > 1 { Some(Pool::new(threads)) } else { None };
-        Runtime { threads, pool }
+        Runtime { threads, pool, fold_gauge: MemoryGauge::default() }
     }
 
     /// Resolves a configured thread count to a runtime handle: `0` means "auto" (the
@@ -96,6 +152,12 @@ impl Runtime {
         self.threads
     }
 
+    /// The gauge recording the transient accumulator footprint of streaming folds run on
+    /// this runtime.
+    pub fn fold_gauge(&self) -> &MemoryGauge {
+        &self.fold_gauge
+    }
+
     /// Order-preserving parallel map over `0..n`.
     ///
     /// Results are identical to `(0..n).map(f).collect()` at any thread count.
@@ -104,6 +166,10 @@ impl Runtime {
         U: Send,
         F: Fn(usize) -> U + Sync,
     {
+        if n == 0 {
+            // Empty regions must not touch the pool's job queue at all.
+            return Vec::new();
+        }
         let Some(pool) = self.usable_pool(n) else {
             return (0..n).map(f).collect();
         };
@@ -200,6 +266,123 @@ impl Runtime {
         items.pop()
     }
 
+    /// Streaming fold over caller-provided index spans: each span folds its indices, in
+    /// order, into one fresh accumulator, and the per-span partials are returned in span
+    /// order. Spans run as independent pooled tasks.
+    ///
+    /// This is the building block of [`Runtime::par_fold_reduce`] and of callers that
+    /// derive their own span grid (e.g. the sharded round engine in `uldp-core`). Because
+    /// the partials depend only on the spans — never on which worker ran what — the
+    /// result is bitwise-identical at any thread count. An empty span list returns
+    /// immediately without touching the pool.
+    pub fn par_fold_ranges<A, I, F>(
+        &self,
+        ranges: &[std::ops::Range<usize>],
+        init: I,
+        fold: F,
+    ) -> Vec<A>
+    where
+        A: Send,
+        I: Fn() -> A + Sync,
+        F: Fn(&mut A, usize) + Sync,
+    {
+        if ranges.is_empty() {
+            return Vec::new();
+        }
+        let run_range = |range: &std::ops::Range<usize>| {
+            let mut acc = init();
+            for i in range.clone() {
+                fold(&mut acc, i);
+            }
+            acc
+        };
+        let Some(pool) = self.usable_pool(ranges.len()) else {
+            return ranges.iter().map(run_range).collect();
+        };
+        let slots: Vec<Mutex<Option<A>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
+        let run_range = &run_range;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+            .iter()
+            .zip(slots.iter())
+            .map(|(range, slot)| {
+                Box::new(move || {
+                    let partial = run_range(range);
+                    *slot.lock().expect("fold slot poisoned") = Some(partial);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_tasks(tasks);
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner().expect("fold slot poisoned").expect("fold partial missing")
+            })
+            .collect()
+    }
+
+    /// Streaming chunked fold over `0..n`: the indices are split into fixed-size chunks
+    /// of `chunk_size` ([`fold_chunk_ranges`] — the grid depends only on
+    /// `(n, chunk_size)`, never on the thread count), each chunk folds its indices in
+    /// order into a fresh accumulator, and the chunk partials combine left-to-right in
+    /// chunk order. Returns `None` for `n == 0` without touching the pool.
+    ///
+    /// Transient memory is O(chunks × accumulator) — the streaming replacement for
+    /// "materialise one value per index, then reduce". For an exact `combine` (integer,
+    /// modular, or fixed-point accumulation) the result is additionally identical for
+    /// *any* chunk size; for floating-point accumulators only the thread-count invariance
+    /// holds, exactly as with [`Runtime::par_map_seeded`].
+    pub fn par_fold_reduce<A, I, F, G>(
+        &self,
+        n: usize,
+        chunk_size: usize,
+        init: I,
+        fold: F,
+        combine: G,
+    ) -> Option<A>
+    where
+        A: Send,
+        I: Fn() -> A + Sync,
+        F: Fn(&mut A, usize) + Sync,
+        G: Fn(A, A) -> A,
+    {
+        if n == 0 {
+            return None;
+        }
+        let ranges = fold_chunk_ranges(n, chunk_size);
+        self.par_fold_ranges(&ranges, init, fold).into_iter().reduce(combine)
+    }
+
+    /// Like [`Runtime::par_fold_reduce`], but index `i` additionally receives a fresh
+    /// `StdRng` seeded with [`seeding::index_seed`]`(seed, i)` — the same derivation as
+    /// [`Runtime::par_map_seeded`], so every index's randomness is a pure function of
+    /// `(seed, index)`, independent of thread count *and* of the chunk grid.
+    pub fn par_fold_seeded<A, I, F, G>(
+        &self,
+        n: usize,
+        chunk_size: usize,
+        seed: u64,
+        init: I,
+        fold: F,
+        combine: G,
+    ) -> Option<A>
+    where
+        A: Send,
+        I: Fn() -> A + Sync,
+        F: Fn(&mut A, usize, &mut StdRng) + Sync,
+        G: Fn(A, A) -> A,
+    {
+        self.par_fold_reduce(
+            n,
+            chunk_size,
+            init,
+            |acc, i| {
+                let mut rng = StdRng::seed_from_u64(seeding::index_seed(seed, i as u64));
+                fold(acc, i, &mut rng);
+            },
+            combine,
+        )
+    }
+
     /// Parallel map that consumes its inputs (used by [`Runtime::par_reduce`] to move
     /// operands into `combine`).
     fn par_map_consume<T, U, F>(&self, items: Vec<T>, f: F) -> Vec<U>
@@ -250,6 +433,41 @@ fn threads_from_env() -> usize {
 
 fn available_threads() -> usize {
     std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+}
+
+/// The fixed chunk grid of a streaming fold: `0..n` split into `⌈n / chunk_size⌉`
+/// contiguous ranges of exactly `chunk_size` indices (the last one smaller).
+///
+/// The grid depends only on `(n, chunk_size)` — never on the thread count — which is
+/// what makes [`Runtime::par_fold_reduce`] bitwise-identical at any pool size.
+/// `chunk_size = 0` and `chunk_size ≥ n` both yield a single chunk.
+pub fn fold_chunk_ranges(n: usize, chunk_size: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = if chunk_size == 0 { n } else { chunk_size.min(n) };
+    (0..n).step_by(chunk).map(|start| start..(start + chunk).min(n)).collect()
+}
+
+/// Resolves a configured fold chunk size: a non-zero configuration wins, otherwise the
+/// `ULDP_CHUNK` environment variable (a positive integer), otherwise `default_chunk`.
+///
+/// Mirrors how `ULDP_THREADS` backs `threads = 0`, so every component exposes the same
+/// "0 = auto" convention for its chunk knob.
+pub fn resolve_chunk_size(configured: usize, default_chunk: usize) -> usize {
+    if configured != 0 {
+        return configured;
+    }
+    match std::env::var(CHUNK_ENV) {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("warning: ignoring invalid {CHUNK_ENV}={raw:?}; using the default");
+                default_chunk
+            }
+        },
+        Err(_) => default_chunk,
+    }
 }
 
 /// Splits `0..n` into at most `max_chunks` contiguous ranges of near-equal size.
@@ -377,6 +595,139 @@ mod tests {
         assert!(auto.threads() >= 1);
         let fixed = Runtime::handle(3);
         assert_eq!(fixed.threads(), 3);
+    }
+
+    #[test]
+    fn empty_regions_do_not_touch_the_pool() {
+        // Regression test for the n == 0 fast path: with every worker wedged on a
+        // long-running batch, an empty region on the *same* runtime must still return
+        // immediately — it may not enqueue anything behind the blocked jobs.
+        let rt = Arc::new(Runtime::new(2));
+        let release = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let guard = std::thread::spawn({
+            let rt = Arc::clone(&rt);
+            let release = Arc::clone(&release);
+            move || {
+                rt.par_map_range(2, |_| {
+                    while !release.load(std::sync::atomic::Ordering::Relaxed) {
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        });
+        // Give the blocking batch time to occupy both workers.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(rt.par_map_range(0, |i| i), Vec::<usize>::new());
+        let empty_fold = rt.par_fold_reduce(0, 4, || 0u64, |acc, i| *acc += i as u64, |a, b| a + b);
+        assert_eq!(empty_fold, None);
+        assert!(rt.par_fold_ranges(&[], || 0u64, |_, _| {}).is_empty());
+        release.store(true, std::sync::atomic::Ordering::Relaxed);
+        guard.join().expect("blocking batch completes");
+    }
+
+    #[test]
+    fn fold_chunk_ranges_have_fixed_size() {
+        assert!(fold_chunk_ranges(0, 4).is_empty());
+        assert_eq!(fold_chunk_ranges(10, 4), vec![0..4, 4..8, 8..10]);
+        assert_eq!(fold_chunk_ranges(3, 0), vec![0..3]);
+        assert_eq!(fold_chunk_ranges(3, usize::MAX), vec![0..3]);
+        for n in [1usize, 2, 7, 16, 100] {
+            for chunk in [1usize, 3, 7, 200] {
+                let ranges = fold_chunk_ranges(n, chunk);
+                assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), n);
+                assert!(ranges.iter().all(|r| r.len() <= chunk.max(1)));
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect);
+                    expect = r.end;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fold_reduce_matches_sequential_fold_for_exact_ops() {
+        // Integer accumulation is exact, so every (threads, chunk) combination must give
+        // the sequential left-fold result bit for bit.
+        let expected: u64 = (0..97u64).map(|i| i * i).sum();
+        for threads in [1usize, 2, 5] {
+            let rt = Runtime::new(threads);
+            for chunk in [1usize, 7, 32, usize::MAX] {
+                let total = rt.par_fold_reduce(
+                    97,
+                    chunk,
+                    || 0u64,
+                    |acc, i| *acc += (i as u64) * (i as u64),
+                    |a, b| a + b,
+                );
+                assert_eq!(total, Some(expected), "threads={threads} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn fold_partials_follow_the_chunk_grid_at_any_thread_count() {
+        // Chunk boundaries come from (n, chunk_size) only: the string partials expose
+        // them directly, so any scheduling dependence shows up as a different grouping.
+        let folds = |threads: usize| {
+            Runtime::new(threads).par_fold_ranges(
+                &fold_chunk_ranges(7, 3),
+                String::new,
+                |acc, i| acc.push_str(&i.to_string()),
+            )
+        };
+        let one = folds(1);
+        assert_eq!(one, vec!["012".to_string(), "345".to_string(), "6".to_string()]);
+        assert_eq!(one, folds(4));
+    }
+
+    #[test]
+    fn fold_seeded_rng_streams_are_chunk_and_thread_invariant() {
+        // Wrapping adds are exact, so the fold over per-index RNG draws must be identical
+        // across every (threads, chunk) combination — and must equal the draws the seeded
+        // *map* produces for the same (seed, index) pairs.
+        let via_map: u64 = Runtime::new(1)
+            .par_map_seeded(23, 77, |_, rng| rng.gen::<u64>())
+            .into_iter()
+            .fold(0u64, u64::wrapping_add);
+        for threads in [1usize, 3] {
+            let rt = Runtime::new(threads);
+            for chunk in [1usize, 5, usize::MAX] {
+                let total = rt
+                    .par_fold_seeded(
+                        23,
+                        chunk,
+                        77,
+                        || 0u64,
+                        |acc, _, rng| *acc = acc.wrapping_add(rng.gen::<u64>()),
+                        u64::wrapping_add,
+                    )
+                    .unwrap();
+                assert_eq!(total, via_map, "threads={threads} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_gauge_tracks_last_and_peak() {
+        let rt = Runtime::new(1);
+        let gauge = rt.fold_gauge();
+        assert_eq!((gauge.last(), gauge.peak()), (0, 0));
+        gauge.record(100);
+        gauge.record(40);
+        assert_eq!((gauge.last(), gauge.peak()), (40, 100));
+        gauge.reset();
+        assert_eq!((gauge.last(), gauge.peak()), (0, 0));
+    }
+
+    #[test]
+    fn resolve_chunk_size_prefers_explicit_configuration() {
+        // Only the configured-value path is testable without mutating the process
+        // environment (racy with concurrently running tests).
+        assert_eq!(resolve_chunk_size(5, 16), 5);
+        if std::env::var(CHUNK_ENV).is_err() {
+            assert_eq!(resolve_chunk_size(0, 16), 16);
+        }
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! The measured memory claim of the streaming sharded round engine: transient
+//! delta-buffer bytes per round scale with the number of fold spans (shards × chunks),
+//! **not** with the number of users — the seed implementation held one dim-length delta
+//! per participating `(silo, user)` task instead.
+//!
+//! The fold sites report their live accumulator bytes to the runtime's
+//! [`uldp_fl::runtime::MemoryGauge`]; these tests pin the reported peak against the
+//! span-grid arithmetic and against the old O(tasks × dim) equivalent.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uldp_fl::core::{FlConfig, Method, Trainer, WeightingStrategy};
+use uldp_fl::datasets::creditcard::{self, CreditcardConfig};
+use uldp_fl::ml::{LinearClassifier, Model};
+
+/// Size of one exact fixed-point accumulator coordinate (`i128`).
+const ACC_COORD_BYTES: usize = 16;
+
+/// Runs one noiseless ULDP-AVG round with the given structure and returns
+/// `(peak fold bytes, participating tasks, per-silo task counts, model dim)`.
+fn round_peak(
+    num_users: usize,
+    shards: usize,
+    chunk_size: usize,
+) -> (usize, usize, Vec<usize>, usize) {
+    let mut rng = StdRng::seed_from_u64(123);
+    let dataset = creditcard::generate(
+        &mut rng,
+        &CreditcardConfig {
+            train_records: 12 * num_users,
+            test_records: 20,
+            num_users,
+            ..Default::default()
+        },
+    );
+    let method = Method::UldpAvg { weighting: WeightingStrategy::Uniform };
+    let mut config = FlConfig::recommended(method, dataset.num_silos);
+    config.rounds = 1;
+    config.local_epochs = 1;
+    config.sigma = 0.0;
+    config.threads = 2; // dedicated pool, so the gauge is isolated from other tests
+    config.shards = shards;
+    config.chunk_size = chunk_size;
+    // Uniform weights and no sub-sampling: every (silo, user) pair with records is one
+    // task of the round.
+    let per_silo_tasks: Vec<usize> = (0..dataset.num_silos)
+        .map(|s| {
+            dataset
+                .users_in_silo(s)
+                .into_iter()
+                .filter(|&u| !dataset.silo_user_records(s, u).is_empty())
+                .count()
+        })
+        .collect();
+    let tasks = per_silo_tasks.iter().sum();
+    let model: Box<dyn Model> = Box::new(LinearClassifier::new(dataset.feature_dim(), 2));
+    let dim = model.num_parameters();
+    let mut trainer = Trainer::new(config, dataset, model);
+    trainer.runtime().fold_gauge().reset();
+    trainer.step(0);
+    (trainer.runtime().fold_gauge().peak(), tasks, per_silo_tasks, dim)
+}
+
+/// Expected span count of one round: per silo, tasks split into `shards` near-equal
+/// shards (empty ones dropped), each split into `chunk_size`-task chunks.
+fn expected_spans(per_silo_tasks: &[usize], shards: usize, chunk_size: usize) -> usize {
+    per_silo_tasks
+        .iter()
+        .map(|&len| {
+            let base = len / shards;
+            let extra = len % shards;
+            (0..shards)
+                .map(|s| {
+                    let shard_len = base + usize::from(s < extra);
+                    if shard_len == 0 {
+                        0
+                    } else {
+                        shard_len.div_ceil(chunk_size.min(shard_len))
+                    }
+                })
+                .sum::<usize>()
+        })
+        .sum()
+}
+
+#[test]
+fn peak_bytes_scale_with_span_count_not_user_count() {
+    // Fixed structure (2 shards per silo, whole shard per chunk): doubling the user
+    // population must not change the transient footprint at all.
+    let (peak_small, tasks_small, per_silo_small, dim) = round_peak(40, 2, usize::MAX);
+    let (peak_large, tasks_large, _, dim_large) = round_peak(80, 2, usize::MAX);
+    assert_eq!(dim, dim_large);
+    assert!(tasks_large > tasks_small, "doubling users must add tasks");
+    assert_eq!(
+        peak_small,
+        expected_spans(&per_silo_small, 2, usize::MAX) * dim * ACC_COORD_BYTES,
+        "peak must equal spans × accumulator bytes"
+    );
+    assert_eq!(
+        peak_small, peak_large,
+        "fixed span structure: the footprint may not grow with the user count"
+    );
+    // And it beats the seed's O(tasks × dim) materialisation by a growing margin.
+    let old_equivalent = tasks_large * dim * std::mem::size_of::<f64>();
+    assert!(
+        peak_large < old_equivalent,
+        "streamed peak {peak_large} should undercut the materialised {old_equivalent}"
+    );
+}
+
+#[test]
+fn peak_bytes_grow_with_the_chunk_count() {
+    // Finer chunks mean more live partials: chunk_size = 1 degenerates to one span per
+    // task (the seed's footprint shape, in accumulator units), so the gauge must report
+    // exactly tasks × dim × 16 — and more than the whole-shard-per-chunk setting.
+    let (peak_fine, tasks, per_silo, dim) = round_peak(40, 1, 1);
+    assert_eq!(peak_fine, tasks * dim * ACC_COORD_BYTES);
+    assert_eq!(peak_fine, expected_spans(&per_silo, 1, 1) * dim * ACC_COORD_BYTES);
+    let (peak_coarse, _, _, _) = round_peak(40, 1, usize::MAX);
+    assert!(
+        peak_coarse < peak_fine,
+        "coarser chunks ({peak_coarse}) must hold fewer live partials than chunk=1 ({peak_fine})"
+    );
+}

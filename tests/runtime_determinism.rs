@@ -1,10 +1,12 @@
 //! Determinism guarantees of the pooled runtime, end to end: training through
 //! [`Trainer::run`] and a full Protocol 1 weighting round must produce **bitwise
-//! identical** results at 1, 2 and N worker threads.
+//! identical** results at 1, 2 and N worker threads — and, since the streaming sharded
+//! round engine, across every `(shards, chunk_size)` setting as well.
 //!
-//! These are the acceptance tests of the `uldp-runtime` refactor: any scheduling
+//! These are the acceptance tests of the `uldp-runtime` refactors: any scheduling
 //! dependence — a shared RNG handed across tasks, a reduction whose shape follows the
-//! thread count, a racy accumulation order — shows up here as a bit difference.
+//! thread count, a racy accumulation order, a float sum whose bracketing follows the
+//! shard or chunk grid — shows up here as a bit difference.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -30,20 +32,33 @@ fn history_bits(h: &TrainingHistory) -> Vec<u64> {
     bits
 }
 
-fn train_with_threads(method: Method, threads: usize) -> TrainingHistory {
-    let mut rng = StdRng::seed_from_u64(7);
+fn train_with_structure(
+    method: Method,
+    threads: usize,
+    shards: usize,
+    chunk_size: usize,
+    seed: u64,
+    rounds: u64,
+) -> TrainingHistory {
+    let mut rng = StdRng::seed_from_u64(seed);
     let dataset = creditcard::generate(
         &mut rng,
         &CreditcardConfig { train_records: 300, test_records: 60, ..Default::default() },
     );
     let mut config = FlConfig::recommended(method, dataset.num_silos);
-    config.rounds = 3;
+    config.rounds = rounds;
     config.local_epochs = 2;
     config.sigma = if method.is_private() { 1.0 } else { 0.0 };
     config.user_sampling = if matches!(method, Method::UldpAvg { .. }) { 0.7 } else { 1.0 };
     config.threads = threads;
+    config.shards = shards;
+    config.chunk_size = chunk_size;
     let model = Box::new(LinearClassifier::new(dataset.feature_dim(), 2));
     Trainer::new(config, dataset, model).run()
+}
+
+fn train_with_threads(method: Method, threads: usize) -> TrainingHistory {
+    train_with_structure(method, threads, 0, 0, 7, 3)
 }
 
 #[test]
@@ -95,15 +110,45 @@ fn group_training_is_bitwise_identical_at_any_thread_count() {
 }
 
 #[test]
-fn protocol_round_is_bitwise_identical_at_any_thread_count() {
+fn training_history_is_bitwise_identical_across_the_structure_grid() {
+    // The streaming sharded round engine's acceptance grid: every combination of
+    // (threads, shards, chunk_size) must reproduce the (1 thread, 1 shard, one-chunk)
+    // reference bit for bit. The exact fixed-point accumulation makes the per-silo sums
+    // independent of the span grid; the per-task RNG streams are already independent of
+    // it. chunk_size = usize::MAX means "whole shard in one chunk".
+    let method = Method::UldpAvg { weighting: WeightingStrategy::RecordProportional };
+    let reference = history_bits(&train_with_structure(method, 1, 1, usize::MAX, 7, 2));
+    for threads in [1usize, 2, 4] {
+        for shards in [1usize, 2, 3] {
+            for chunk in [1usize, 7, usize::MAX] {
+                let run = history_bits(&train_with_structure(method, threads, shards, chunk, 7, 2));
+                assert_eq!(
+                    run, reference,
+                    "threads={threads} shards={shards} chunk={chunk} diverged"
+                );
+            }
+        }
+    }
+    // ULDP-SGD rides the same engine: spot-check the grid corners.
+    let method = Method::UldpSgd { weighting: WeightingStrategy::Uniform };
+    let reference = history_bits(&train_with_structure(method, 1, 1, usize::MAX, 8, 2));
+    for (threads, shards, chunk) in [(2, 3, 1), (4, 2, 7)] {
+        let run = history_bits(&train_with_structure(method, threads, shards, chunk, 8, 2));
+        assert_eq!(run, reference, "threads={threads} shards={shards} chunk={chunk} diverged");
+    }
+}
+
+#[test]
+fn protocol_round_is_bitwise_identical_across_threads_and_chunks() {
     let histogram = vec![vec![3usize, 1, 0, 5, 2], vec![1, 0, 2, 5, 1], vec![0, 4, 2, 0, 3]];
-    let run = |threads: usize| {
+    let run = |threads: usize, chunk_size: usize| {
         let mut rng = StdRng::seed_from_u64(91);
         let config = ProtocolConfig {
             paillier_bits: 256,
             dh_bits: 128,
             n_max: 16,
             threads,
+            chunk_size,
             ..Default::default()
         };
         let protocol = PrivateWeightingProtocol::setup(&histogram, &config, &mut rng);
@@ -129,9 +174,14 @@ fn protocol_round_is_bitwise_identical_at_any_thread_count() {
         let (out, _) = protocol.weighting_round(&deltas, &noises, None, &mut rng);
         out.iter().map(|v| v.to_bits()).collect::<Vec<u64>>()
     };
-    let sequential = run(1);
-    assert_eq!(sequential, run(2));
-    assert_eq!(sequential, run(6));
+    // Ciphertext accumulation is exact modular arithmetic, so the streamed cell fold
+    // must reproduce the (1 thread, one-chunk) reference at every grid point.
+    let sequential = run(1, usize::MAX);
+    for threads in [1usize, 2, 6] {
+        for chunk in [1usize, 7, usize::MAX] {
+            assert_eq!(sequential, run(threads, chunk), "threads={threads} chunk={chunk}");
+        }
+    }
 }
 
 #[test]
@@ -156,6 +206,26 @@ fn swapping_the_runtime_after_setup_preserves_bits() {
     );
 }
 
+// Property test: random (threads, shards, chunk) grid points must reproduce the
+// sequential single-shard single-chunk training reference bit for bit.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn random_structure_grid_points_reproduce_training_bitwise(
+        seed in any::<u64>(),
+        threads in 1usize..5,
+        shards in 1usize..4,
+        chunk_pick in 0usize..3,
+    ) {
+        let chunk = [1usize, 7, usize::MAX][chunk_pick];
+        let method = Method::UldpAvg { weighting: WeightingStrategy::RecordProportional };
+        let reference = history_bits(&train_with_structure(method, 1, 1, usize::MAX, seed, 2));
+        let run = history_bits(&train_with_structure(method, threads, shards, chunk, seed, 2));
+        prop_assert_eq!(run, reference);
+    }
+}
+
 // Property test: random histograms and deltas, sequential vs pooled protocol rounds.
 // Key generation dominates, so the key size is small and the case count modest.
 proptest! {
@@ -166,16 +236,18 @@ proptest! {
         seed in any::<u64>(),
         histogram in prop::collection::vec(prop::collection::vec(0usize..5, 4), 2..4),
         dim in 1usize..4,
+        chunk in 1usize..9,
     ) {
         // Guard: the protocol requires at least one record overall to be interesting;
         // all-zero histograms are still valid (every inverse is None) and must agree too.
-        let run = |threads: usize| {
+        let run = |threads: usize, chunk_size: usize| {
             let mut rng = StdRng::seed_from_u64(seed);
             let config = ProtocolConfig {
                 paillier_bits: 128,
                 dh_bits: 64,
                 n_max: 32,
                 threads,
+                chunk_size,
                 ..Default::default()
             };
             let protocol = PrivateWeightingProtocol::setup(&histogram, &config, &mut rng);
@@ -200,6 +272,6 @@ proptest! {
             let (out, _) = protocol.weighting_round(&deltas, &noises, None, &mut rng);
             out.iter().map(|v| v.to_bits()).collect::<Vec<u64>>()
         };
-        prop_assert_eq!(run(1), run(3));
+        prop_assert_eq!(run(1, usize::MAX), run(3, chunk));
     }
 }
