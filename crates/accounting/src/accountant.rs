@@ -153,6 +153,13 @@ impl Accountant {
         }
     }
 
+    /// The membership-inference advantage ceiling implied by the accumulated ε at
+    /// `delta` — the scenario harness's ε-scoring hook
+    /// (see [`membership_advantage_bound`]).
+    pub fn advantage_bound(&self, delta: f64) -> f64 {
+        membership_advantage_bound(self.epsilon(delta), delta)
+    }
+
     /// Convenience: the ε after exactly `t` rounds without mutating the accountant.
     pub fn epsilon_after(&self, t: u64, delta: f64) -> f64 {
         match self.privacy {
@@ -176,6 +183,27 @@ pub fn theorem_1_3_epsilon(sigma: f64, rounds: u64, delta: f64, alpha: f64) -> f
     rho + ((alpha - 1.0) / alpha).ln() - (delta.ln() + alpha.ln()) / (alpha - 1.0)
 }
 
+/// The tight `(ε, δ)`-DP ceiling on membership-inference advantage.
+///
+/// By the hypothesis-testing characterisation of differential privacy (Kairouz et al.,
+/// "The Composition Theorem for Differential Privacy"), any membership test against an
+/// `(ε, δ)`-DP mechanism has `TPR ≤ e^ε·FPR + δ`, which bounds the advantage
+/// (`TPR − FPR`, equivalently `2·AUC − 1` for the optimally thresholded attack) by
+/// `(e^ε − 1 + 2δ) / (e^ε + 1)`, capped at 1. At `ε = 0` the bound degenerates to `δ`;
+/// for a non-private mechanism (`ε = ∞`) it is 1 — any advantage is consistent.
+///
+/// The scenario harness scores the empirical attack advantage of every scenario against
+/// this ceiling evaluated at the accountant's accumulated ε.
+pub fn membership_advantage_bound(epsilon: f64, delta: f64) -> f64 {
+    assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    assert!((0.0..1.0).contains(&delta), "delta must be in [0, 1)");
+    let e = epsilon.exp();
+    if !e.is_finite() {
+        return 1.0;
+    }
+    (((e - 1.0) + 2.0 * delta) / (e + 1.0)).min(1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +218,24 @@ mod tests {
         let at_alpha_20 = theorem_1_3_epsilon(5.0, 100, 1e-5, 20.0);
         assert!(eps <= at_alpha_20 + 1e-9);
         assert!(eps > 0.0);
+    }
+
+    #[test]
+    fn advantage_bound_tracks_epsilon() {
+        // ε = 0 degenerates to δ; the bound is monotone in ε and saturates at 1.
+        assert!((membership_advantage_bound(0.0, 1e-5) - 1e-5).abs() < 1e-12);
+        let low = membership_advantage_bound(0.5, 1e-5);
+        let high = membership_advantage_bound(5.0, 1e-5);
+        assert!(0.0 < low && low < high && high < 1.0);
+        assert_eq!(membership_advantage_bound(f64::INFINITY, 1e-5), 1.0);
+        assert_eq!(membership_advantage_bound(1000.0, 1e-5), 1.0);
+
+        let mut a = Accountant::new(AlgorithmPrivacy::UserLevelGaussian { sigma: 5.0, q: 1.0 });
+        a.step_rounds(10);
+        let bound = a.advantage_bound(1e-5);
+        assert!((bound - membership_advantage_bound(a.epsilon(1e-5), 1e-5)).abs() < 1e-15);
+        let non_private = Accountant::new(AlgorithmPrivacy::NonPrivate);
+        assert_eq!(non_private.advantage_bound(1e-5), 1.0);
     }
 
     #[test]

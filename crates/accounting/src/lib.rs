@@ -25,7 +25,7 @@ pub mod calibration;
 pub mod conversion;
 pub mod rdp;
 
-pub use accountant::{Accountant, AlgorithmPrivacy};
+pub use accountant::{membership_advantage_bound, Accountant, AlgorithmPrivacy};
 pub use calibration::{calibrate_sigma, calibrate_sigma_subsampled};
 pub use conversion::{dp_to_group_dp, group_epsilon_via_normal_dp, group_rdp, rdp_to_dp};
 pub use rdp::{

@@ -10,14 +10,17 @@
 //! the same factor — any growth there is a real footprint regression, not noise.
 //!
 //! Keys present in only one of the two files are reported but never fail the check
-//! (individual binaries may regenerate only their own sections). A missing or
-//! unparsable *baseline file* is an error: the check would silently pass forever.
+//! (individual binaries may regenerate only their own sections). Whole *sections* that
+//! exist only in the fresh report (e.g. a newly added `scenarios` section the committed
+//! baseline predates) are listed as informational — they are new coverage, not
+//! regressions, and they don't count towards the "nothing comparable" error. A missing
+//! or unparsable *baseline file* is an error: the check would silently pass forever.
 //!
 //! ```bash
 //! cargo run --release -p uldp-bench --bin bench_trend -- BENCH_baseline.json BENCH_protocol.json
 //! ```
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use uldp_bench::report::{parse_report_phases, PhaseSample};
 
 fn env_f64(name: &str, default: f64) -> f64 {
@@ -48,8 +51,11 @@ fn main() {
     let factor = env_f64("ULDP_TREND_FACTOR", 2.0);
     let min_ms = env_f64("ULDP_TREND_MIN_MS", 100.0);
 
+    let baseline_samples = load(&baseline_path);
+    let baseline_sections: BTreeSet<String> =
+        baseline_samples.iter().map(|s| s.section.clone()).collect();
     let baseline: BTreeMap<_, _> =
-        load(&baseline_path).into_iter().map(|s| (s.key(), s.value)).collect();
+        baseline_samples.into_iter().map(|s| (s.key(), s.value)).collect();
     let fresh = load(&fresh_path);
 
     println!(
@@ -60,9 +66,15 @@ fn main() {
     let mut compared = 0usize;
     let mut skipped_small = 0usize;
     let mut unmatched = 0usize;
+    let mut new_sections: BTreeMap<String, usize> = BTreeMap::new();
     for sample in &fresh {
         let Some(&base) = baseline.get(&sample.key()) else {
-            unmatched += 1;
+            if baseline_sections.contains(&sample.section) {
+                unmatched += 1;
+            } else {
+                // A section the baseline predates: new coverage, never a regression.
+                *new_sections.entry(sample.section.clone()).or_insert(0) += 1;
+            }
             continue;
         };
         if base < min_ms {
@@ -87,7 +99,16 @@ fn main() {
         "bench_trend: compared {compared} phases \
          ({skipped_small} below the {min_ms} ms floor, {unmatched} without a baseline key)"
     );
-    if compared == 0 {
+    for (section, count) in &new_sections {
+        println!(
+            "bench_trend: section \"{section}\" is new ({count} phase(s), no baseline yet) \
+             — informational only"
+        );
+    }
+    // Samples from new sections can't make the reports "comparable": the error fires
+    // whenever the sections the two reports *share* produced nothing to compare.
+    let comparable_fresh = fresh.len() - new_sections.values().sum::<usize>();
+    if compared == 0 && comparable_fresh > 0 {
         eprintln!("bench_trend: nothing comparable — baseline and fresh reports share no keys");
         std::process::exit(2);
     }

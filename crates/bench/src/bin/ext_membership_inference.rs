@@ -7,12 +7,18 @@
 //! `uldp_core::attack`, reporting the attack AUC and membership advantage per method.
 //! User-level DP should push the advantage towards zero.
 //!
+//! A second pass scores the attack per [`uldp_core::Scenario`] — dropouts, stragglers,
+//! byzantine silos, Zipf skew — against the accountant's ε and the `(ε, δ)`-DP ceiling
+//! on any attack's advantage, and writes the result as the `scenarios` section of
+//! `BENCH_protocol.json`.
+//!
 //! ```bash
 //! cargo run --release -p uldp-bench --bin ext_membership_inference
 //! ```
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use uldp_bench::scenarios::{evaluate_scenarios, print_scenario_table, write_scenarios_section};
 use uldp_bench::{print_table, ResultRow, Scale};
 use uldp_core::attack::{member_user_records, user_level_membership_inference};
 use uldp_core::{FlConfig, Method, Trainer, WeightingStrategy};
@@ -83,4 +89,14 @@ fn main() {
          the ULDP methods keep the user-level attack advantage close to zero at the cost of\n\
          some accuracy."
     );
+
+    // Per-scenario pass: the same attack under each catalogue scenario's fault plan and
+    // allocation, scored against the accountant's ε. Every empirical advantage must sit
+    // under the (ε, δ) ceiling — adversarial conditions degrade utility, not privacy.
+    let outcomes = evaluate_scenarios(scale.pick(5, 20), scale.pick(400, 1200), 5.0);
+    print_scenario_table(&outcomes);
+    match write_scenarios_section(&outcomes) {
+        Ok(path) => println!("Wrote scenarios section to {}", path.display()),
+        Err(e) => eprintln!("Failed to write scenarios section: {e}"),
+    }
 }

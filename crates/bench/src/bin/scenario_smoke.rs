@@ -1,0 +1,133 @@
+//! CI smoke test of the scenario engine and its determinism oracle.
+//!
+//! Samples a bounded number of (scenario × threads × shards × chunk) cases from the
+//! fixed-seed catalogue grid and asserts every case reproduces the scenario's
+//! sequential single-shard single-chunk reference **bit for bit** — the same oracle as
+//! `tests/scenario_fuzz.rs`, but in release mode and cheap enough for every CI run.
+//! Each scenario's reference fingerprint is printed as an `SCN <name> <hex>` line, so
+//! CI can `diff` the output of independent processes (e.g. at different
+//! `ULDP_THREADS`). It then runs the per-scenario membership-inference scoring and
+//! writes the `scenarios` section of `BENCH_protocol.json`.
+//!
+//! Knobs: `ULDP_SCENARIO_CASES` bounds the sampled grid cases (default 12),
+//! `ULDP_SCENARIO_ROUNDS` the training rounds per case (default 2).
+//!
+//! ```bash
+//! cargo run --release -p uldp-bench --bin scenario_smoke
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uldp_bench::scenarios::{evaluate_scenarios, print_scenario_table, write_scenarios_section};
+use uldp_core::{FlConfig, Method, Scenario, Trainer, TrainingHistory, WeightingStrategy};
+use uldp_datasets::creditcard::{self, CreditcardConfig};
+use uldp_ml::LinearClassifier;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// Collapses a history into one u64 fingerprint over its bit-exact content.
+fn fingerprint(h: &TrainingHistory) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    let mut mix = |bits: u64| {
+        for byte in bits.to_le_bytes() {
+            acc ^= byte as u64;
+            acc = acc.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    for p in &h.final_parameters {
+        mix(p.to_bits());
+    }
+    for r in &h.rounds {
+        mix(r.round);
+        mix(r.epsilon.to_bits());
+        mix(r.test_accuracy.map(|v| v.to_bits()).unwrap_or(u64::MAX));
+        mix(r.test_loss.map(|v| v.to_bits()).unwrap_or(u64::MAX));
+        mix(r.c_index.map(|v| v.to_bits()).unwrap_or(u64::MAX));
+    }
+    acc
+}
+
+fn train(scenario: &Scenario, threads: usize, shards: usize, chunk: usize, rounds: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(7);
+    let dataset = creditcard::generate(
+        &mut rng,
+        &CreditcardConfig {
+            train_records: 240,
+            test_records: 40,
+            allocation: scenario.allocation(),
+            ..Default::default()
+        },
+    );
+    let method = Method::UldpAvg { weighting: WeightingStrategy::RecordProportional };
+    let mut config = FlConfig::recommended(method, dataset.num_silos);
+    config.rounds = rounds;
+    config.local_epochs = 2;
+    config.sigma = 1.0;
+    config.user_sampling = 0.7;
+    config.threads = threads;
+    config.shards = shards;
+    config.chunk_size = chunk;
+    config.fault_plan = scenario.plan;
+    let model = Box::new(LinearClassifier::new(dataset.feature_dim(), 2));
+    fingerprint(&Trainer::new(config, dataset, model).run())
+}
+
+fn main() {
+    let cases = env_u64("ULDP_SCENARIO_CASES", 12) as usize;
+    let rounds = env_u64("ULDP_SCENARIO_ROUNDS", 2);
+    let structures = [(2usize, 2usize, 1usize), (4, 1, 7), (2, 3, usize::MAX), (4, 2, 16)];
+    let scenarios = Scenario::catalogue();
+    println!(
+        "scenario_smoke: {} scenarios, sampling {cases} grid cases at T={rounds}",
+        scenarios.len()
+    );
+
+    // Fixed-seed references (structure-independent — these are the lines CI diffs).
+    let references: Vec<u64> =
+        scenarios.iter().map(|s| train(s, 1, 1, usize::MAX, rounds)).collect();
+    for (scenario, reference) in scenarios.iter().zip(&references) {
+        println!("SCN {} {reference:016x}", scenario.name);
+    }
+
+    // Walk the (scenario × structure) grid round-robin up to the case budget; every
+    // sampled case must land on its scenario's reference fingerprint.
+    let mut checked = 0usize;
+    'grid: for (si, structure) in (0..structures.len()).flat_map(|si| {
+        let structures = &structures;
+        (0..scenarios.len()).map(move |sc| (sc, structures[si]))
+    }) {
+        if checked >= cases {
+            break 'grid;
+        }
+        let (threads, shards, chunk) = structure;
+        let scenario = &scenarios[si];
+        let run = train(scenario, threads, shards, chunk, rounds);
+        assert_eq!(
+            run, references[si],
+            "scenario {} diverged at threads={threads} shards={shards} chunk={chunk}",
+            scenario.name
+        );
+        checked += 1;
+    }
+    println!(
+        "scenario_smoke: {checked} grid cases bitwise-identical to their sequential references"
+    );
+
+    // Per-scenario membership inference vs the accountant's ε, into the `scenarios`
+    // report section.
+    let outcomes = evaluate_scenarios(rounds.max(3), 240, 1.0);
+    print_scenario_table(&outcomes);
+    match write_scenarios_section(&outcomes) {
+        Ok(path) => println!("Wrote scenarios section to {}", path.display()),
+        Err(e) => {
+            eprintln!("Failed to write scenarios section: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -24,6 +24,7 @@
 
 pub mod modpow;
 pub mod report;
+pub mod scenarios;
 
 use rand::rngs::StdRng;
 use uldp_core::{

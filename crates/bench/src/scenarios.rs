@@ -1,0 +1,167 @@
+//! Per-scenario membership-inference scoring: the `scenarios` report section.
+//!
+//! Every [`Scenario`] of the catalogue — baseline, dropouts, stragglers, byzantine
+//! strategies, Zipf skew and the mixed worst case — is trained on the memorisation-prone
+//! Creditcard federation with the scenario's fault plan and allocation, attacked with the
+//! user-level loss-threshold attack of `uldp_core::attack`, and scored against the
+//! accountant's `(ε, δ)` ceiling on any attack's advantage
+//! ([`uldp_accounting::membership_advantage_bound`]). The outcomes feed a table on
+//! stdout and the `scenarios` section of `BENCH_protocol.json`, shared by
+//! `ext_membership_inference` and the CI `scenario_smoke` binary.
+
+use crate::{print_table, BenchEntry, BenchSection, ResultRow};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use uldp_core::attack::{member_user_records, score_scenario, ScenarioAttackScore};
+use uldp_core::{FlConfig, Method, Scenario, Trainer, WeightingStrategy};
+use uldp_datasets::creditcard::{self, CreditcardConfig};
+use uldp_ml::{LinearClassifier, Model};
+use uldp_runtime::Runtime;
+
+/// One scenario's training + attack outcome.
+#[derive(Clone, Debug)]
+pub struct ScenarioOutcome {
+    /// The attack result paired with the accountant's `(ε, δ)` ceiling.
+    pub score: ScenarioAttackScore,
+    /// Final test accuracy of the scenario's model (`NaN` when never evaluated).
+    pub test_accuracy: f64,
+}
+
+/// Trains ULDP-AVG under every catalogue scenario and scores the released model with
+/// the user-level membership-inference attack against the accountant's ε.
+///
+/// Each scenario re-generates its federation from the same seed (only the allocation
+/// and fault plan differ), plus a shadow federation from the same generative process
+/// for the non-member population.
+pub fn evaluate_scenarios(rounds: u64, train_records: usize, sigma: f64) -> Vec<ScenarioOutcome> {
+    Scenario::catalogue()
+        .iter()
+        .map(|scenario| {
+            let mut rng = StdRng::seed_from_u64(0x005c_e017);
+            let cfg = CreditcardConfig {
+                train_records,
+                test_records: 200,
+                num_users: 40,
+                class_separation: 0.6, // hard task: low separation forces memorisation
+                allocation: scenario.allocation(),
+                ..Default::default()
+            };
+            let dataset = creditcard::generate(&mut rng, &cfg);
+            let shadow = creditcard::generate(&mut rng, &cfg);
+            let members = member_user_records(&dataset);
+            let mut non_members = member_user_records(&shadow);
+            non_members.truncate(members.len());
+
+            let method = Method::UldpAvg { weighting: WeightingStrategy::RecordProportional };
+            let mut config = FlConfig::recommended(method, dataset.num_silos);
+            config.rounds = rounds;
+            config.local_epochs = 4;
+            config.local_lr = 0.5;
+            config.sigma = sigma;
+            config.clip_bound = 1.0;
+            config.eval_every = rounds;
+            config.global_lr = dataset.num_silos as f64 * 20.0;
+            config.fault_plan = scenario.plan;
+            let delta = config.delta;
+            let model: Box<dyn Model> = Box::new(LinearClassifier::new(dataset.feature_dim(), 2));
+            let mut trainer = Trainer::new(config, dataset, model);
+            let history = trainer.run();
+            let score = score_scenario(
+                scenario.name,
+                trainer.model(),
+                &members,
+                &non_members,
+                history.final_epsilon(),
+                delta,
+            );
+            ScenarioOutcome { score, test_accuracy: history.final_accuracy().unwrap_or(f64::NAN) }
+        })
+        .collect()
+}
+
+/// The `scenarios` report section: one entry per scenario with the attack AUC /
+/// advantage next to the accountant's ε and the `(ε, δ)` advantage ceiling.
+///
+/// `paillier_bits` is 0 — no cryptography runs here; the field is part of the shared
+/// section schema.
+pub fn scenarios_section(outcomes: &[ScenarioOutcome]) -> BenchSection {
+    let mut section = BenchSection::new("scenarios", Runtime::global().threads(), 0);
+    for outcome in outcomes {
+        let mut entry = BenchEntry::new(outcome.score.scenario.clone());
+        entry
+            .phase("attack_auc", outcome.score.result.auc)
+            .phase("advantage", outcome.score.result.advantage)
+            .phase("epsilon", outcome.score.epsilon)
+            .phase("advantage_bound", outcome.score.advantage_bound)
+            .phase("test_accuracy", outcome.test_accuracy);
+        section.entries.push(entry);
+    }
+    section
+}
+
+/// Writes (or merges) the `scenarios` section into `BENCH_protocol.json`
+/// (honouring `ULDP_BENCH_JSON`) and returns the path.
+pub fn write_scenarios_section(outcomes: &[ScenarioOutcome]) -> std::io::Result<PathBuf> {
+    scenarios_section(outcomes).write()
+}
+
+/// Prints the per-scenario attack-vs-ε table.
+pub fn print_scenario_table(outcomes: &[ScenarioOutcome]) {
+    let rows: Vec<ResultRow> = outcomes
+        .iter()
+        .map(|outcome| {
+            let mut row = ResultRow::new(outcome.score.scenario.clone());
+            row.push_f64("attack AUC", outcome.score.result.auc);
+            row.push_f64("advantage", outcome.score.result.advantage);
+            row.push_f64("epsilon", outcome.score.epsilon);
+            row.push_f64("adv bound", outcome.score.advantage_bound);
+            row.push_f64("test acc", outcome.test_accuracy);
+            row.push_str(
+                "within bound",
+                if outcome.score.within_bound(0.15) { "yes" } else { "NO" },
+            );
+            row
+        })
+        .collect();
+    print_table("Per-scenario membership inference vs (ε, δ)-DP ceiling", &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::parse_report_phases;
+
+    #[test]
+    fn outcomes_cover_the_catalogue_and_serialise() {
+        let outcomes = evaluate_scenarios(2, 160, 1.0);
+        let names: Vec<&str> = Scenario::catalogue().iter().map(|s| s.name).collect();
+        assert_eq!(
+            outcomes.iter().map(|o| o.score.scenario.as_str()).collect::<Vec<_>>(),
+            names,
+            "one outcome per catalogue scenario, in order"
+        );
+        for o in &outcomes {
+            assert!((0.0..=1.0).contains(&o.score.result.auc), "{}: AUC", o.score.scenario);
+            assert!(o.score.epsilon > 0.0, "{}: ε", o.score.scenario);
+            assert!(
+                (0.0..=1.0).contains(&o.score.advantage_bound),
+                "{}: advantage bound",
+                o.score.scenario
+            );
+        }
+
+        let dir = std::env::temp_dir().join(format!("uldp-scenarios-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_scenarios.json");
+        let _ = std::fs::remove_file(&path);
+        scenarios_section(&outcomes).write_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        let samples = parse_report_phases(&text);
+        assert!(samples.iter().all(|s| s.section == "scenarios"));
+        // 5 phases per scenario (finite ε at σ = 1, so nothing serialises to null)
+        assert_eq!(samples.len(), outcomes.len() * 5);
+        assert!(samples.iter().any(|s| s.phase == "advantage_bound"));
+    }
+}

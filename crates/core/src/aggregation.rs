@@ -64,6 +64,12 @@ impl SecureAggregationSim {
     /// (`pair_seeds[i][j] == pair_seeds[j][i]`, diagonal ignored). The server only ever
     /// receives the masked vectors; the returned value is their sum, which equals the
     /// plaintext sum up to fixed-point precision because the masks cancel.
+    ///
+    /// Cancellation requires the sum to range over **exactly** the silo set the masks
+    /// were generated for (see `uldp_crypto::masking`); silos dropping between masking
+    /// and summation would leave dangling masks, so the scenario engine only ever drops
+    /// silos *before* this point. Seed symmetry — the matrix half of that precondition —
+    /// is debug-asserted here.
     pub fn masked_sum(
         &self,
         silo_vectors: &[Vec<f64>],
@@ -73,6 +79,11 @@ impl SecureAggregationSim {
         let num_silos = silo_vectors.len();
         assert!(num_silos > 0, "need at least one silo");
         assert_eq!(pair_seeds.len(), num_silos, "pair seed matrix shape mismatch");
+        debug_assert!(
+            (0..num_silos)
+                .all(|i| (i + 1..num_silos).all(|j| pair_seeds[i][j] == pair_seeds[j][i])),
+            "pair seeds must be symmetric — the mask-cancellation precondition"
+        );
         let dim = silo_vectors[0].len();
         let modulus = self.codec.modulus().clone();
 
@@ -161,6 +172,16 @@ mod tests {
         let masked = sim.masked_sum(&vectors, &pair_seeds(1), 0);
         assert!((masked[0] - 0.125).abs() < 1e-8);
         assert!((masked[1] + 7.5).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    #[cfg(debug_assertions)]
+    fn asymmetric_pair_seeds_are_rejected_in_debug() {
+        let sim = SecureAggregationSim::new(1e-9);
+        let mut seeds = pair_seeds(2);
+        seeds[0][1] = MaskSeed::new([9u8; 32]);
+        let _ = sim.masked_sum(&[vec![1.0], vec![2.0]], &seeds, 0);
     }
 
     #[test]

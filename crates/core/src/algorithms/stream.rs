@@ -223,6 +223,69 @@ mod tests {
     }
 
     #[test]
+    fn accumulator_saturates_deterministically_at_extreme_magnitudes() {
+        // |d| ≥ 2⁴⁷ overflows the i128 grid (2¹²⁷ / 2⁸⁰ = 2⁴⁷): the cast saturates and
+        // the wrapping add keeps every grouping on the same bits — a byzantine
+        // scaled-gradient delta of 1e30 must not introduce grouping-dependent results.
+        let extremes =
+            vec![vec![1e30], vec![-1e30], vec![f64::MAX], vec![-f64::MAX], vec![2f64.powi(47)]];
+        let mut whole = DeltaAccumulator::new(1);
+        for v in &extremes {
+            whole.add(v);
+        }
+        let mut grouped = DeltaAccumulator::new(1);
+        for group in extremes.chunks(2).rev() {
+            let mut partial = DeltaAccumulator::new(1);
+            for v in group {
+                partial.add(v);
+            }
+            grouped.merge(partial);
+        }
+        assert_eq!(whole.finish()[0].to_bits(), grouped.finish()[0].to_bits());
+
+        // The saturation boundary is exact: 2⁴⁷ pins to i128::MAX while the largest f64
+        // below 2⁴⁷ still fits the grid (its scaled value is < 2¹²⁷).
+        let saturating = |d: f64| {
+            let mut acc = DeltaAccumulator::new(1);
+            acc.add(&[d]);
+            acc.acc[0]
+        };
+        assert_eq!(saturating(2f64.powi(47)), i128::MAX);
+        assert_eq!(saturating(-2f64.powi(47)), i128::MIN);
+        let below = f64::from_bits(2f64.powi(47).to_bits() - 1);
+        assert!(saturating(below) < i128::MAX);
+        // Opposite saturations cancel to -1 on the wrap (MAX + MIN), not to 0: the
+        // result is garbage numerically but identical garbage in every grouping.
+        let mut wrap = DeltaAccumulator::new(1);
+        wrap.add(&[1e30]);
+        wrap.add(&[-1e30]);
+        assert_eq!(wrap.acc[0], -1);
+    }
+
+    #[test]
+    fn accumulator_quantises_signed_zeros_and_subnormals_to_positive_zero() {
+        // -0.0 · 2⁸⁰ = -0.0, and `(-0.0) as i128 == 0`; subnormals (≈ 5·10⁻³²⁴) scale to
+        // ≈ 6·10⁻³⁰⁰, far below the 2⁻⁸⁰ grid, and truncate to 0. Either way the sum is
+        // integer zero and `finish` returns +0.0 — the sign bit of a -0.0 contribution
+        // never leaks into the aggregate.
+        for d in [-0.0f64, 0.0, f64::from_bits(1), -f64::from_bits(1), f64::MIN_POSITIVE] {
+            let mut acc = DeltaAccumulator::new(1);
+            acc.add(&[d]);
+            assert_eq!(acc.acc[0], 0, "d = {d:e}");
+            assert_eq!(acc.finish()[0].to_bits(), 0.0f64.to_bits(), "d = {d:e}");
+        }
+        // Mixed signed zeros across merges agree bitwise with the plain fold.
+        let mut a = DeltaAccumulator::new(2);
+        a.add(&[-0.0, 1.5]);
+        let mut b = DeltaAccumulator::new(2);
+        b.add(&[0.0, -0.0]);
+        a.merge(b);
+        let out = a.finish();
+        assert_eq!(out[0].to_bits(), 0.0f64.to_bits());
+        assert_eq!(out[1].to_bits(), 1.5f64.to_bits());
+    }
+
+    #[test]
     fn shard_spans_cover_the_task_list_in_order() {
         let tasks: Vec<(usize, usize)> =
             vec![(0, 0), (0, 1), (0, 2), (0, 3), (0, 4), (2, 0), (2, 1), (2, 2)];

@@ -33,6 +33,19 @@ use uldp_runtime::Runtime;
 /// `(silo, user)` task trains with an RNG derived from `(round_seed, silo, user)` and
 /// each silo draws its Gaussian noise from a separate per-silo stream, so the round is
 /// bitwise-identical across all `(threads, shards, chunk_size)` settings.
+///
+/// Degradation semantics under [`FlConfig::fault_plan`] ([`crate::scenario`]):
+///
+/// * A **dropped** silo contributes neither deltas nor noise, and the server update is
+///   re-scaled by the surviving silo count (`scale = 1/(q·|U|·|S_surviving|)`), so the
+///   round equals a plan-less round over the survivors with the global learning rate
+///   compensated by `|S|/|S_surviving|`.
+/// * A **byzantine** silo's raw per-user deltas are corrupted *before* clipping, so each
+///   corrupted task still contributes at most `w_{s,u}·C` in norm — the attacker's total
+///   influence on the aggregate is bounded by `2·C·Σ_{corrupted (s,u)} w_{s,u}`.
+///
+/// All fault decisions are pure functions of `(plan seed, round_seed, silo[, user])`, so
+/// faulted rounds keep the bitwise runtime-grid determinism.
 pub fn run_round(
     rt: &Runtime,
     model: &mut Box<dyn Model>,
@@ -48,7 +61,13 @@ pub fn run_round(
     let template = model.clone_model();
     let noise_std = config.sigma * config.clip_bound / (dataset.num_silos as f64).sqrt();
 
-    let tasks = participating_tasks(dataset, weights);
+    let plan = &config.fault_plan;
+    let dropped = plan.dropped_silos(round_seed, dataset.num_silos);
+    let byzantine = plan.byzantine_silos(round_seed, dataset.num_silos);
+    let surviving = dropped.iter().filter(|&&d| !d).count();
+
+    let mut tasks = participating_tasks(dataset, weights);
+    tasks.retain(|&(silo_id, _)| !dropped[silo_id]);
 
     let mut deltas = stream::stream_silo_deltas(
         rt,
@@ -75,6 +94,9 @@ pub fn run_round(
                 records.len().max(1),
                 &mut rng,
             );
+            if byzantine[silo_id] {
+                plan.corrupt_delta(&mut delta, round_seed, dataset.num_users, silo_id, user);
+            }
             clipping::clip_to_norm(&mut delta, config.clip_bound);
             let w = weights.get(silo_id, user);
             for d in delta.iter_mut() {
@@ -83,13 +105,17 @@ pub fn run_round(
             Some(delta)
         },
     );
-    // Per-silo noise from dedicated streams on top of the streamed per-silo sums.
+    // Per-silo noise from dedicated streams on top of the streamed per-silo sums; a
+    // dropped silo's report never arrives, noise included.
     for (silo_id, silo_delta) in deltas.iter_mut().enumerate() {
+        if dropped[silo_id] {
+            continue;
+        }
         add_gaussian_noise(silo_delta, noise_std, &mut noise_rng(round_seed, silo_id));
     }
 
     let aggregate = sum_deltas(&deltas, dim);
-    let scale = 1.0 / (sampling_q * dataset.num_users as f64 * dataset.num_silos as f64);
+    let scale = 1.0 / (sampling_q * dataset.num_users as f64 * surviving as f64);
     apply_update(model.as_mut(), &aggregate, config.global_lr, scale);
 }
 

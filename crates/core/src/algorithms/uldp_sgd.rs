@@ -20,6 +20,12 @@ use uldp_runtime::Runtime;
 /// ([`crate::algorithms::stream`]) like ULDP-AVG's training loops (they consume no
 /// randomness); per-silo Gaussian noise comes from dedicated seeded streams, so the
 /// round is bitwise-identical across all `(threads, shards, chunk_size)` settings.
+///
+/// [`FlConfig::fault_plan`] degradation semantics match ULDP-AVG
+/// ([`crate::algorithms::uldp_avg::run_round`]): dropped silos contribute neither
+/// gradients nor noise and the update re-scales by the surviving silo count; byzantine
+/// silos corrupt raw gradients *before* clipping, bounding their influence by the
+/// clipping norm. Fault decisions are seed-derived, preserving bitwise determinism.
 pub fn run_round(
     rt: &Runtime,
     model: &mut Box<dyn Model>,
@@ -35,7 +41,13 @@ pub fn run_round(
     let template = model.clone_model();
     let noise_std = config.sigma * config.clip_bound / (dataset.num_silos as f64).sqrt();
 
-    let tasks = participating_tasks(dataset, weights);
+    let plan = &config.fault_plan;
+    let dropped = plan.dropped_silos(round_seed, dataset.num_silos);
+    let byzantine = plan.byzantine_silos(round_seed, dataset.num_silos);
+    let surviving = dropped.iter().filter(|&&d| !d).count();
+
+    let mut tasks = participating_tasks(dataset, weights);
+    tasks.retain(|&(silo_id, _)| !dropped[silo_id]);
 
     let mut gradients = stream::stream_silo_deltas(
         rt,
@@ -51,6 +63,9 @@ pub fn run_round(
             }
             let mut scratch = template.clone_model();
             let mut grad = silo::local_gradient(scratch.as_mut(), &global, &records);
+            if byzantine[silo_id] {
+                plan.corrupt_delta(&mut grad, round_seed, dataset.num_users, silo_id, user);
+            }
             clipping::clip_to_norm(&mut grad, config.clip_bound);
             let w = weights.get(silo_id, user);
             for g in grad.iter_mut() {
@@ -60,14 +75,16 @@ pub fn run_round(
         },
     );
     for (silo_id, silo_grad) in gradients.iter_mut().enumerate() {
+        if dropped[silo_id] {
+            continue;
+        }
         add_gaussian_noise(silo_grad, noise_std, &mut noise_rng(round_seed, silo_id));
     }
 
     let aggregate = sum_deltas(&gradients, dim);
     // Gradients point uphill, so the server applies a *descent* step with the local
     // learning rate folded in (one SGD step per round at user level).
-    let scale =
-        -config.local_lr / (sampling_q * dataset.num_users as f64 * dataset.num_silos as f64);
+    let scale = -config.local_lr / (sampling_q * dataset.num_users as f64 * surviving as f64);
     apply_update(model.as_mut(), &aggregate, config.global_lr, scale);
 }
 

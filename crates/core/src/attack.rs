@@ -12,6 +12,7 @@
 //! metrics are the attack ROC-AUC and the membership advantage `2·AUC − 1`; a model with a
 //! strong user-level DP guarantee must keep the advantage close to zero.
 
+use uldp_accounting::membership_advantage_bound;
 use uldp_datasets::FederatedDataset;
 use uldp_ml::{Model, Sample};
 
@@ -86,6 +87,51 @@ pub fn user_level_membership_inference(
         advantage: 2.0 * auc - 1.0,
         member_mean_loss: mean(&member_losses),
         non_member_mean_loss: mean(&non_member_losses),
+    }
+}
+
+/// The membership-inference outcome of one [`crate::scenario::Scenario`], scored against
+/// the accountant's ε: the empirical attack advantage next to the theoretical
+/// `(ε, δ)`-DP ceiling ([`membership_advantage_bound`]).
+#[derive(Clone, Debug)]
+pub struct ScenarioAttackScore {
+    /// Scenario name ([`crate::scenario::Scenario::name`]).
+    pub scenario: String,
+    /// The attack result on the scenario's released model.
+    pub result: MembershipInferenceResult,
+    /// The accountant's accumulated ε for the run (∞ for non-private methods).
+    pub epsilon: f64,
+    /// The δ the guarantee (and the bound) is stated at.
+    pub delta: f64,
+    /// The `(ε, δ)`-DP ceiling on any attack's advantage.
+    pub advantage_bound: f64,
+}
+
+impl ScenarioAttackScore {
+    /// Whether the empirical advantage respects the theoretical ceiling (up to `slack`
+    /// for the attack's finite-sample estimation noise).
+    pub fn within_bound(&self, slack: f64) -> bool {
+        self.result.advantage <= self.advantage_bound + slack
+    }
+}
+
+/// Runs the user-level attack on a scenario's released model and scores it against the
+/// `(ε, δ)` guarantee the accountant certified for that run.
+pub fn score_scenario(
+    scenario: impl Into<String>,
+    model: &dyn Model,
+    members: &[Vec<Sample>],
+    non_members: &[Vec<Sample>],
+    epsilon: f64,
+    delta: f64,
+) -> ScenarioAttackScore {
+    let result = user_level_membership_inference(model, members, non_members);
+    ScenarioAttackScore {
+        scenario: scenario.into(),
+        result,
+        epsilon,
+        delta,
+        advantage_bound: membership_advantage_bound(epsilon, delta),
     }
 }
 
@@ -170,6 +216,24 @@ mod tests {
     fn user_average_loss_empty_is_none() {
         let model = LinearClassifier::new(2, 2);
         assert!(user_average_loss(&model, &[]).is_none());
+    }
+
+    #[test]
+    fn scenario_score_pairs_attack_with_epsilon_ceiling() {
+        let members = random_label_users(12, 2, 5);
+        let non_members = random_label_users(12, 2, 6);
+        // A non-private overfit model: huge empirical advantage, but ε = ∞ puts the
+        // ceiling at 1, so the score is still "within bound".
+        let leaky = overfit_model(&members);
+        let score = score_scenario("baseline", &leaky, &members, &non_members, f64::INFINITY, 1e-5);
+        assert_eq!(score.scenario, "baseline");
+        assert_eq!(score.advantage_bound, 1.0);
+        assert!(score.within_bound(0.0));
+        // A private untrained model at small ε: tiny ceiling, near-zero advantage.
+        let private = LinearClassifier::new(8, 2);
+        let score = score_scenario("dp", &private, &members, &non_members, 0.5, 1e-5);
+        assert!(score.advantage_bound < 0.3);
+        assert!(score.within_bound(0.25), "advantage {}", score.result.advantage);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Training configuration for the Uldp-FL framework.
 
+use crate::scenario::FaultPlan;
 use serde::{Deserialize, Serialize};
 
 /// Name of the environment variable backing [`FlConfig::shards`]` = 0` (a positive
@@ -125,6 +126,12 @@ pub struct FlConfig {
     /// there would serialise typical silo counts); an explicit non-zero value still
     /// wins. Training results are bitwise-identical at any setting.
     pub chunk_size: usize,
+    /// Deterministic fault injection for the round ([`crate::scenario`]): dropouts,
+    /// stragglers and byzantine updates. Honoured by ULDP-AVG / ULDP-SGD (Protocol 1
+    /// carries its own copy in [`crate::protocol::ProtocolConfig`]); the silo-level
+    /// baselines ignore it. The default plan injects nothing and leaves rounds
+    /// byte-for-byte unchanged.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for FlConfig {
@@ -145,6 +152,7 @@ impl Default for FlConfig {
             threads: 0,
             shards: 0,
             chunk_size: 0,
+            fault_plan: FaultPlan::none(),
         }
     }
 }
@@ -210,6 +218,7 @@ impl FlConfig {
         );
         assert!(self.delta > 0.0 && self.delta < 1.0, "delta must be in (0, 1)");
         assert!(self.eval_every > 0, "eval_every must be positive");
+        self.fault_plan.validate();
         if let Method::UldpGroup { sampling_rate, group_size } = self.method {
             assert!(
                 sampling_rate > 0.0 && sampling_rate <= 1.0,
@@ -293,6 +302,16 @@ mod tests {
     #[should_panic(expected = "clipping bound")]
     fn invalid_clip_rejected() {
         let cfg = FlConfig { clip_bound: 0.0, ..Default::default() };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "byzantine_fraction")]
+    fn invalid_fault_plan_rejected() {
+        let cfg = FlConfig {
+            fault_plan: FaultPlan { byzantine_fraction: -0.5, ..FaultPlan::none() },
+            ..Default::default()
+        };
         cfg.validate();
     }
 }

@@ -49,6 +49,7 @@
 //! aggregates (CI diffs them).
 
 use crate::config::WeightingStrategy;
+use crate::scenario::FaultPlan;
 use crate::weighting::WeightMatrix;
 use rand::Rng;
 use std::sync::Arc;
@@ -88,6 +89,11 @@ pub struct ProtocolConfig {
     /// Ciphertext accumulation is exact modular arithmetic, so results are
     /// bitwise-identical at any setting.
     pub chunk_size: usize,
+    /// Deterministic fault injection for the protocol's rounds ([`crate::scenario`]):
+    /// silos dropping or straggling between steps 2.(b) and 2.(c). Only honoured by
+    /// [`PrivateWeightingProtocol::weighting_round_faulted`]; the plain round entry
+    /// points ignore it. The default plan injects nothing.
+    pub fault_plan: FaultPlan,
 }
 
 /// Default cells-per-chunk of the protocol's streaming fold when neither
@@ -106,6 +112,7 @@ impl Default for ProtocolConfig {
             n_max: 64,
             threads: 0,
             chunk_size: 0,
+            fault_plan: FaultPlan::none(),
         }
     }
 }
@@ -124,6 +131,7 @@ impl ProtocolConfig {
             n_max: 2000,
             threads: 0,
             chunk_size: 0,
+            fault_plan: FaultPlan::none(),
         }
     }
 }
@@ -242,6 +250,8 @@ pub struct PrivateWeightingProtocol {
     /// Resolved cells-per-chunk of the streaming cell fold
     /// ([`ProtocolConfig::chunk_size`] / `ULDP_CHUNK` / default).
     chunk_size: usize,
+    /// Fault plan for [`PrivateWeightingProtocol::weighting_round_faulted`].
+    fault_plan: FaultPlan,
 }
 
 impl PrivateWeightingProtocol {
@@ -260,6 +270,7 @@ impl PrivateWeightingProtocol {
         let num_users = histogram[0].len();
         assert!(num_users >= 1, "the protocol needs at least one user");
         assert!(histogram.iter().all(|row| row.len() == num_users));
+        config.fault_plan.validate();
         let runtime = Runtime::handle(config.threads);
 
         // --- Step 1.(a)-(c): key generation and pairwise seed agreement. ---
@@ -355,6 +366,7 @@ impl PrivateWeightingProtocol {
             },
             runtime,
             chunk_size: uldp_runtime::resolve_chunk_size(config.chunk_size, DEFAULT_PROTOCOL_CHUNK),
+            fault_plan: config.fault_plan,
         }
     }
 
@@ -452,10 +464,91 @@ impl PrivateWeightingProtocol {
         // ciphertexts, decryption and decoding. The pairwise additive masks cancel in the
         // sum exactly as in step 1.(e); the decrypted aggregate is therefore the same with
         // or without them.
-        let (out, mut timings) =
-            self.weighting_round_with_inverses(clipped_deltas, noises, &encrypted_inverses, dim);
+        let (out, mut timings) = self.weighting_round_with_inverses(
+            clipped_deltas,
+            noises,
+            &encrypted_inverses,
+            dim,
+            None,
+        );
         timings.server_encryption = server_encryption;
         (out, timings)
+    }
+
+    /// Runs one weighting round under the configured [`ProtocolConfig::fault_plan`]:
+    /// silos selected by the plan drop out **between steps 2.(b) and 2.(c)** — after the
+    /// server ships the encrypted blinded inverses, before silo reports aggregate — and
+    /// straggling silos inflate the round's `silo_weighting` timing by
+    /// [`FaultPlan::delay_ms`] each without touching the result.
+    ///
+    /// Degradation semantics: a dropped silo's `(silo, coordinate)` cells (deltas *and*
+    /// noise) are excluded from the streaming homomorphic fold — the Paillier path needs
+    /// no mask recovery because the pairwise masks cancel inside each per-coordinate sum
+    /// over the silos that actually contributed — and the decrypted aggregate is
+    /// re-weighted by `|S| / |S_surviving|` so the update keeps its expected scale. The
+    /// result is *exactly* the surviving-silo plaintext reference
+    /// ([`PrivateWeightingProtocol::plaintext_reference_faulted`]) and stays
+    /// bitwise-identical across every `(threads, chunk_size)` setting; at least one silo
+    /// always survives.
+    ///
+    /// `round` tells the plan which round's fault set to draw (faults are re-drawn every
+    /// round). Returns the re-weighted aggregate, the dropout mask in silo order, and
+    /// the per-phase timings.
+    pub fn weighting_round_faulted<R: Rng + ?Sized>(
+        &self,
+        clipped_deltas: &[Vec<Vec<f64>>],
+        noises: &[Vec<f64>],
+        sampled: Option<&[bool]>,
+        round: u64,
+        rng: &mut R,
+    ) -> (Vec<f64>, Vec<bool>, RoundTimings) {
+        assert_eq!(clipped_deltas.len(), self.num_silos, "one delta set per silo required");
+        assert_eq!(noises.len(), self.num_silos, "one noise vector per silo required");
+        let dim = noises[0].len();
+        assert!(dim > 0, "model dimension must be positive");
+
+        // Step 2.(a) is unchanged: the server encrypts before any silo drops.
+        let enc_start = Instant::now();
+        let batch_seed = seeding::wide_seed_from_rng(rng);
+        let plaintexts: Vec<BigUint> = (0..self.num_users)
+            .map(|u| {
+                let keep = sampled.is_none_or(|s| s[u]);
+                match (&self.blinded_inverses[u], keep) {
+                    (Some(inv), true) => inv.clone(),
+                    _ => BigUint::zero(),
+                }
+            })
+            .collect();
+        let encrypted_inverses =
+            self.paillier.public.encrypt_batch(&self.runtime, batch_seed, &plaintexts);
+        let server_encryption = enc_start.elapsed();
+
+        let dropped = self.fault_plan.dropped_silos(round, self.num_silos);
+        let delayed = self.fault_plan.delayed_silos(round, self.num_silos);
+        let (mut out, mut timings) = self.weighting_round_with_inverses(
+            clipped_deltas,
+            noises,
+            &encrypted_inverses,
+            dim,
+            Some(&dropped),
+        );
+        timings.server_encryption = server_encryption;
+
+        // Surviving-silo re-weighting: the decrypted value is the exact sum over the
+        // survivors, scaled up so the server update keeps its |S|-silo magnitude.
+        let surviving = dropped.iter().filter(|&&d| !d).count();
+        debug_assert!(surviving >= 1, "the fault plan must leave at least one silo");
+        let factor = self.num_silos as f64 / surviving as f64;
+        if factor != 1.0 {
+            for o in out.iter_mut() {
+                *o *= factor;
+            }
+        }
+        // Stragglers: each delayed report lands `delay_ms` late. Simulated in the
+        // timings only — no wall-clock sleep, the aggregate is untouched.
+        let delayed_count = delayed.iter().filter(|&&d| d).count() as u64;
+        timings.silo_weighting += Duration::from_millis(self.fault_plan.delay_ms * delayed_count);
+        (out, dropped, timings)
     }
 
     /// Runs one weighting round with **private user-level sub-sampling** via simulated
@@ -510,19 +603,22 @@ impl PrivateWeightingProtocol {
         // Silo side and aggregation are identical to the plain round, using the chosen
         // ciphertexts in place of the server-published inverses.
         let (out, mut timings) =
-            self.weighting_round_with_inverses(clipped_deltas, noises, &chosen, dim);
+            self.weighting_round_with_inverses(clipped_deltas, noises, &chosen, dim, None);
         timings.server_encryption = server_encryption;
         (out, selected_flags, timings)
     }
 
     /// Shared silo-side + aggregation logic of steps 2.(b)-(c), parameterised by the
-    /// per-user encrypted inverses actually distributed to the silos.
+    /// per-user encrypted inverses actually distributed to the silos. When `dropped` is
+    /// given, the marked silos' cells (deltas and noise) are excluded from the streaming
+    /// fold — their reports never reach the server.
     fn weighting_round_with_inverses(
         &self,
         clipped_deltas: &[Vec<Vec<f64>>],
         noises: &[Vec<f64>],
         encrypted_inverses: &[Ciphertext],
         dim: usize,
+        dropped: Option<&[bool]>,
     ) -> (Vec<f64>, RoundTimings) {
         let n = &self.paillier.public.n;
         let rt = &*self.runtime;
@@ -601,6 +697,12 @@ impl PrivateWeightingProtocol {
         rt.fold_gauge().record(partial_entries * ct_bytes);
         let compute_cell = |silo: usize, j: usize| -> Ciphertext {
             let mut acc = self.paillier.public.trivial_zero();
+            // A dropped silo's report never reaches the server: neither its weighted
+            // deltas nor its noise enter the per-coordinate total (the pairwise masks
+            // cancel over the silos that did contribute, so no recovery is needed).
+            if dropped.is_some_and(|d| d[silo]) {
+                return acc;
+            }
             for (u, delta) in clipped_deltas[silo].iter().enumerate() {
                 if self.silo_histograms[silo][u] == 0 || delta.is_empty() {
                     continue;
@@ -682,6 +784,48 @@ impl PrivateWeightingProtocol {
             }
             for (o, z) in out.iter_mut().zip(noises[silo].iter()) {
                 *o += z;
+            }
+        }
+        out
+    }
+
+    /// The plaintext value a faulted round is supposed to compute: the
+    /// [`PrivateWeightingProtocol::plaintext_reference`] sum restricted to silos *not*
+    /// marked in `dropped`, re-weighted by `|S| / |S_surviving|`.
+    pub fn plaintext_reference_faulted(
+        &self,
+        clipped_deltas: &[Vec<Vec<f64>>],
+        noises: &[Vec<f64>],
+        sampled: Option<&[bool]>,
+        dropped: &[bool],
+    ) -> Vec<f64> {
+        assert_eq!(dropped.len(), self.num_silos, "one dropout flag per silo required");
+        let dim = noises[0].len();
+        let mut out = vec![0.0; dim];
+        for silo in 0..self.num_silos {
+            if dropped[silo] {
+                continue;
+            }
+            for (u, delta) in clipped_deltas[silo].iter().enumerate() {
+                let keep = sampled.is_none_or(|s| s[u]);
+                let n_su = self.silo_histograms[silo][u];
+                if !keep || n_su == 0 || delta.is_empty() || self.user_totals[u] == 0 {
+                    continue;
+                }
+                let w = n_su as f64 / self.user_totals[u] as f64;
+                for (o, d) in out.iter_mut().zip(delta.iter()) {
+                    *o += w * d;
+                }
+            }
+            for (o, z) in out.iter_mut().zip(noises[silo].iter()) {
+                *o += z;
+            }
+        }
+        let surviving = dropped.iter().filter(|&&d| !d).count().max(1);
+        let factor = self.num_silos as f64 / surviving as f64;
+        if factor != 1.0 {
+            for o in out.iter_mut() {
+                *o *= factor;
             }
         }
         out
@@ -896,5 +1040,119 @@ mod tests {
     fn rejects_single_silo() {
         let mut rng = StdRng::seed_from_u64(8);
         let _ = PrivateWeightingProtocol::setup(&[vec![1, 2]], &test_config(), &mut rng);
+    }
+
+    fn faulted_config(plan: FaultPlan) -> ProtocolConfig {
+        ProtocolConfig { fault_plan: plan, ..test_config() }
+    }
+
+    #[test]
+    fn faulted_round_without_faults_matches_plain_round() {
+        let histogram = small_histogram();
+        let mut rng = StdRng::seed_from_u64(51);
+        let protocol = PrivateWeightingProtocol::setup(&histogram, &test_config(), &mut rng);
+        let (deltas, noises) = deltas_and_noise(&histogram, 3, 52);
+        let round_rng = rng.clone();
+        let (plain, _) = protocol.weighting_round(&deltas, &noises, None, &mut round_rng.clone());
+        let (faulted, dropped, _) =
+            protocol.weighting_round_faulted(&deltas, &noises, None, 0, &mut round_rng.clone());
+        assert!(dropped.iter().all(|&d| !d));
+        assert_eq!(
+            plain.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            faulted.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn dropout_reweights_surviving_homomorphic_sum_exactly() {
+        // A dropped silo's cells are excluded from the homomorphic fold; the decrypted
+        // aggregate must equal the surviving-silo plaintext reference (re-weighted by
+        // |S|/|S_surviving|) and — before the common re-weighting factor — be bitwise
+        // identical to a plain round where the dropped silo's inputs are explicit zeros.
+        let histogram = small_histogram();
+        let plan = FaultPlan { dropout_fraction: 0.4, seed: 77, ..FaultPlan::none() };
+        let mut rng = StdRng::seed_from_u64(53);
+        let protocol = PrivateWeightingProtocol::setup(&histogram, &faulted_config(plan), &mut rng);
+        let (deltas, noises) = deltas_and_noise(&histogram, 4, 54);
+        let round_rng = rng.clone();
+        let (faulted, dropped, _) =
+            protocol.weighting_round_faulted(&deltas, &noises, None, 3, &mut round_rng.clone());
+        assert_eq!(dropped.iter().filter(|&&d| d).count(), 1, "0.4 of 3 silos rounds to one");
+
+        let reference = protocol.plaintext_reference_faulted(&deltas, &noises, None, &dropped);
+        for (a, b) in faulted.iter().zip(reference.iter()) {
+            assert!((a - b).abs() < 1e-6, "faulted {a} vs surviving reference {b}");
+        }
+        // And the re-weighted aggregate genuinely differs from the full-participation one.
+        let full = protocol.plaintext_reference(&deltas, &noises, None);
+        let diff: f64 = reference.iter().zip(full.iter()).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-3, "dropout must change the aggregate");
+
+        // Bitwise exactness of the fold: dropping silo s equals zeroing silo s's inputs.
+        let mut zeroed_deltas = deltas.clone();
+        let mut zeroed_noises = noises.clone();
+        for (silo, &gone) in dropped.iter().enumerate() {
+            if gone {
+                zeroed_deltas[silo] = vec![Vec::new(); protocol.num_users()];
+                zeroed_noises[silo] = vec![0.0; 4];
+            }
+        }
+        let (zeroed, _) =
+            protocol.weighting_round(&zeroed_deltas, &zeroed_noises, None, &mut round_rng.clone());
+        let surviving = dropped.iter().filter(|&&d| !d).count();
+        let factor = protocol.num_silos() as f64 / surviving as f64;
+        let rescaled: Vec<u64> = zeroed.iter().map(|v| (v * factor).to_bits()).collect();
+        assert_eq!(faulted.iter().map(|v| v.to_bits()).collect::<Vec<_>>(), rescaled);
+    }
+
+    #[test]
+    fn faulted_round_is_bitwise_identical_across_threads_and_chunks() {
+        let histogram = small_histogram();
+        let plan = FaultPlan {
+            dropout_fraction: 0.4,
+            delay_fraction: 0.4,
+            delay_ms: 1,
+            seed: 5,
+            ..FaultPlan::none()
+        };
+        let run = |threads: usize, chunk_size: usize| {
+            let mut rng = StdRng::seed_from_u64(55);
+            let cfg = ProtocolConfig { threads, chunk_size, ..faulted_config(plan) };
+            let protocol = PrivateWeightingProtocol::setup(&histogram, &cfg, &mut rng);
+            let (deltas, noises) = deltas_and_noise(&histogram, 3, 56);
+            let (out, dropped, _) =
+                protocol.weighting_round_faulted(&deltas, &noises, None, 1, &mut rng);
+            (out.iter().map(|v| v.to_bits()).collect::<Vec<u64>>(), dropped)
+        };
+        let sequential = run(1, usize::MAX);
+        for (threads, chunk) in [(2, 1), (4, 7), (2, usize::MAX)] {
+            assert_eq!(sequential, run(threads, chunk), "threads={threads} chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn delayed_silos_inflate_timings_but_not_results() {
+        let histogram = small_histogram();
+        let plan = FaultPlan { delay_fraction: 1.0, delay_ms: 40, ..FaultPlan::none() };
+        let mut rng = StdRng::seed_from_u64(57);
+        let protocol = PrivateWeightingProtocol::setup(&histogram, &faulted_config(plan), &mut rng);
+        let (deltas, noises) = deltas_and_noise(&histogram, 3, 58);
+        let round_rng = rng.clone();
+        let (plain, plain_timings) =
+            protocol.weighting_round(&deltas, &noises, None, &mut round_rng.clone());
+        let (delayed, dropped, delayed_timings) =
+            protocol.weighting_round_faulted(&deltas, &noises, None, 0, &mut round_rng.clone());
+        assert!(dropped.iter().all(|&d| !d));
+        assert_eq!(
+            plain.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            delayed.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "stragglers must not change the aggregate"
+        );
+        // All three silos straggle by 40 ms each on top of the real fold time.
+        assert!(
+            delayed_timings.silo_weighting >= plain_timings.silo_weighting
+                && delayed_timings.silo_weighting >= Duration::from_millis(120),
+            "delayed round must account 3 × 40 ms of straggler lateness"
+        );
     }
 }

@@ -5,9 +5,23 @@
 //! Before sending a value `x_s ∈ F_n` to the server, silo `s` adds
 //! `Σ_{s < s'} r_{s,s'} − Σ_{s > s'} r_{s,s'}` where `r_{s,s'} = r_{s',s}` is expanded
 //! deterministically from the shared seed, the user index and the round number.
-//! When the server sums the masked contributions of *all* silos the masks cancel exactly,
-//! so the server only learns the aggregate. Cross-silo FL assumes full participation
-//! (paper §2.1), so no dropout-recovery machinery is needed.
+//! When the server sums the masked contributions of **exactly the silo set the masks were
+//! generated for**, the masks cancel exactly and the server only learns the aggregate.
+//!
+//! That cancellation precondition is load-bearing, not a formality: if any silo's masked
+//! contribution is missing from the sum (a dropout *after* masking), every surviving
+//! silo's mask towards the missing silo dangles and the sum decodes to garbage — there is
+//! no recovery machinery here (no Shamir shares of the pair seeds as in full
+//! Bonawitz-style secure aggregation). The scenario engine's fault plan therefore injects
+//! dropouts *before* masking takes effect: Protocol 1's streaming fold excludes a dropped
+//! silo's cells entirely, so the masks of the surviving set still cancel pairwise.
+//! Concretely the precondition is:
+//!
+//! 1. the pair-seed matrix is symmetric (`seed[i][j] == seed[j][i]`, guaranteed by the
+//!    Diffie–Hellman agreement and debug-asserted where the matrix is consumed), and
+//! 2. the server's sum ranges over every silo that applied masks — no more, no fewer —
+//!    with each silo masking towards every *other* participant exactly once
+//!    (debug-asserted per call by [`apply_pairwise_masks`]).
 
 use crate::sha256::hash_parts;
 use uldp_bigint::modular::{mod_add, mod_sub};
@@ -85,12 +99,32 @@ impl MaskGenerator {
 /// `(other_silo_id, mask r_{silo,s'})`. Following Protocol 1 step 1.(e), masks towards
 /// higher-indexed silos are added and masks towards lower-indexed silos are subtracted,
 /// so that the sum over all silos cancels.
+///
+/// Cancellation requires each counterparty to appear **exactly once** and never the silo
+/// itself (see the module docs for the full precondition); both are debug-asserted. A
+/// self-entry is skipped in release builds for robustness, but indicates a caller bug.
 pub fn apply_pairwise_masks(
     value: &BigUint,
     silo_id: usize,
     pair_masks: &[(usize, BigUint)],
     modulus: &BigUint,
 ) -> BigUint {
+    debug_assert!(
+        pair_masks.iter().all(|(other, _)| *other != silo_id),
+        "silo {silo_id} must not mask towards itself"
+    );
+    debug_assert!(
+        {
+            let mut ids: Vec<usize> = pair_masks.iter().map(|(other, _)| *other).collect();
+            ids.sort_unstable();
+            ids.windows(2).all(|w| w[0] != w[1])
+        },
+        "duplicate counterparty in silo {silo_id}'s pair masks breaks cancellation"
+    );
+    debug_assert!(
+        pair_masks.iter().all(|(_, mask)| mask < modulus),
+        "pair masks must already be reduced into the field"
+    );
     let mut out = value.rem(modulus);
     for (other, mask) in pair_masks {
         if *other == silo_id {
@@ -186,5 +220,84 @@ mod tests {
         let ma = apply_pairwise_masks(&a, 0, &[(1, mask.clone())], &m);
         let mb = apply_pairwise_masks(&b, 1, &[(0, mask)], &m);
         assert_eq!(mod_add(&ma, &mb, &m), BigUint::from_u64(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not mask towards itself")]
+    #[cfg(debug_assertions)]
+    fn self_mask_is_rejected_in_debug() {
+        let m = modulus();
+        let gen = MaskGenerator::new(seed(5), m.clone());
+        let _ = apply_pairwise_masks(&BigUint::from_u64(1), 0, &[(0, gen.mask(0, 0))], &m);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate counterparty")]
+    #[cfg(debug_assertions)]
+    fn duplicate_counterparty_is_rejected_in_debug() {
+        let m = modulus();
+        let gen = MaskGenerator::new(seed(6), m.clone());
+        let masks = [(1usize, gen.mask(0, 0)), (1usize, gen.mask(0, 1))];
+        let _ = apply_pairwise_masks(&BigUint::from_u64(1), 0, &masks, &m);
+    }
+
+    // Property test pinning the cancellation precondition the module docs state: the net
+    // masks of the full participant set sum to zero; removing one participant *after*
+    // masking leaves a dangling mask; re-deriving masks for exactly the surviving subset
+    // (dropouts before masking — the scenario engine's approach) cancels again.
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn masks_cancel_iff_summed_over_the_masked_set(
+            num_silos in 2usize..7,
+            seed_tag in any::<u64>(),
+            round in any::<u64>(),
+            index in any::<u64>(),
+            drop_pick in any::<u64>(),
+        ) {
+            let m = modulus();
+            let pair_seed = |a: usize, b: usize| {
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                let mut bytes = [0u8; 32];
+                bytes[..8].copy_from_slice(&seed_tag.to_be_bytes());
+                bytes[8] = lo as u8;
+                bytes[9] = hi as u8;
+                MaskSeed::new(bytes)
+            };
+            // A zero value makes the masked contribution the net mask itself.
+            let net_mask = |s: usize, participants: &[usize]| {
+                let pair_masks: Vec<(usize, BigUint)> = participants
+                    .iter()
+                    .filter(|&&o| o != s)
+                    .map(|&o| {
+                        let gen = MaskGenerator::new(pair_seed(s, o), m.clone());
+                        (o, gen.mask(round, index))
+                    })
+                    .collect();
+                apply_pairwise_masks(&BigUint::zero(), s, &pair_masks, &m)
+            };
+            let all: Vec<usize> = (0..num_silos).collect();
+            let sum_over = |silos: &[usize], mask_set: &[usize]| {
+                silos.iter().fold(BigUint::zero(), |acc, &s| {
+                    mod_add(&acc, &net_mask(s, mask_set), &m)
+                })
+            };
+            // Full participation: Σ_s net_mask(s) ≡ 0 — what Protocol 1 relies on.
+            prop_assert_eq!(sum_over(&all, &all), BigUint::zero());
+
+            // Dropout *after* masking: the survivors' masks towards the missing silo
+            // dangle (a ~120-bit collision to zero is astronomically unlikely).
+            let dropped = (drop_pick % num_silos as u64) as usize;
+            let survivors: Vec<usize> =
+                all.iter().copied().filter(|&s| s != dropped).collect();
+            prop_assert_ne!(sum_over(&survivors, &all), BigUint::zero());
+
+            // Dropout *before* masking: masks derived for exactly the surviving set
+            // cancel again.
+            prop_assert_eq!(sum_over(&survivors, &survivors), BigUint::zero());
+        }
     }
 }
