@@ -11,17 +11,22 @@
 //!
 //! Keys present in only one of the two files are reported but never fail the check
 //! (individual binaries may regenerate only their own sections). Whole *sections* that
-//! exist only in the fresh report (e.g. a newly added `scenarios` section the committed
-//! baseline predates) are listed as informational — they are new coverage, not
-//! regressions, and they don't count towards the "nothing comparable" error. A missing
-//! or unparsable *baseline file* is an error: the check would silently pass forever.
+//! exist only in the fresh report (e.g. a newly added `scenarios` or `telemetry`
+//! section the committed baseline predates) are listed as informational — they are new
+//! coverage, not regressions, and they don't count towards the "nothing comparable"
+//! error. A missing or unparsable *baseline file* is an error: the check would silently
+//! pass forever.
+//!
+//! The join/classification logic lives in [`uldp_bench::trend`] so it is unit-testable
+//! with synthetic reports; this binary owns only argument parsing, printing and exit
+//! codes.
 //!
 //! ```bash
 //! cargo run --release -p uldp-bench --bin bench_trend -- BENCH_baseline.json BENCH_protocol.json
 //! ```
 
-use std::collections::{BTreeMap, BTreeSet};
 use uldp_bench::report::{parse_report_phases, PhaseSample};
+use uldp_bench::trend::{compare, TrendConfig};
 
 fn env_f64(name: &str, default: f64) -> f64 {
     std::env::var(name)
@@ -51,71 +56,51 @@ fn main() {
     let factor = env_f64("ULDP_TREND_FACTOR", 2.0);
     let min_ms = env_f64("ULDP_TREND_MIN_MS", 100.0);
 
-    let baseline_samples = load(&baseline_path);
-    let baseline_sections: BTreeSet<String> =
-        baseline_samples.iter().map(|s| s.section.clone()).collect();
-    let baseline: BTreeMap<_, _> =
-        baseline_samples.into_iter().map(|s| (s.key(), s.value)).collect();
+    let baseline = load(&baseline_path);
     let fresh = load(&fresh_path);
 
     println!(
         "bench_trend: {fresh_path} vs {baseline_path} (fail factor {factor}x, \
          baseline floor {min_ms} ms)"
     );
-    let mut regressions = Vec::new();
-    let mut compared = 0usize;
-    let mut skipped_small = 0usize;
-    let mut unmatched = 0usize;
-    let mut new_sections: BTreeMap<String, usize> = BTreeMap::new();
-    for sample in &fresh {
-        let Some(&base) = baseline.get(&sample.key()) else {
-            if baseline_sections.contains(&sample.section) {
-                unmatched += 1;
-            } else {
-                // A section the baseline predates: new coverage, never a regression.
-                *new_sections.entry(sample.section.clone()).or_insert(0) += 1;
-            }
-            continue;
-        };
-        if base < min_ms {
-            skipped_small += 1;
-            continue;
-        }
-        compared += 1;
-        let ratio = sample.value / base;
-        let marker = if ratio > factor { " REGRESSION" } else { "" };
+    let report = compare(&baseline, &fresh, TrendConfig { factor, min_ms });
+    for c in &report.comparisons {
+        let marker = if c.regressed { " REGRESSION" } else { "" };
         println!(
-            "  {:<28} {:<40} {:<12} {:>12.1} -> {:>12.1}  ({ratio:>5.2}x){marker}",
-            sample.section, sample.label, sample.phase, base, sample.value
+            "  {:<28} {:<40} {:<12} {:>12.1} -> {:>12.1}  ({:>5.2}x){marker}",
+            c.sample.section, c.sample.label, c.sample.phase, c.baseline, c.sample.value, c.ratio
         );
-        if ratio > factor {
-            regressions.push(format!(
-                "{} / {} / {}: {:.1} -> {:.1} ({ratio:.2}x > {factor}x)",
-                sample.section, sample.label, sample.phase, base, sample.value
-            ));
-        }
     }
     println!(
-        "bench_trend: compared {compared} phases \
-         ({skipped_small} below the {min_ms} ms floor, {unmatched} without a baseline key)"
+        "bench_trend: compared {} phases \
+         ({} below the {min_ms} ms floor, {} without a baseline key)",
+        report.comparisons.len(),
+        report.skipped_small,
+        report.unmatched
     );
-    for (section, count) in &new_sections {
+    for (section, count) in &report.new_sections {
         println!(
             "bench_trend: section \"{section}\" is new ({count} phase(s), no baseline yet) \
              — informational only"
         );
     }
-    // Samples from new sections can't make the reports "comparable": the error fires
-    // whenever the sections the two reports *share* produced nothing to compare.
-    let comparable_fresh = fresh.len() - new_sections.values().sum::<usize>();
-    if compared == 0 && comparable_fresh > 0 {
+    if report.nothing_comparable() {
         eprintln!("bench_trend: nothing comparable — baseline and fresh reports share no keys");
         std::process::exit(2);
     }
+    let regressions = report.regressions();
     if !regressions.is_empty() {
         eprintln!("bench_trend: {} phase(s) regressed past {factor}x:", regressions.len());
-        for r in &regressions {
-            eprintln!("  {r}");
+        for c in &regressions {
+            eprintln!(
+                "  {} / {} / {}: {:.1} -> {:.1} ({:.2}x > {factor}x)",
+                c.sample.section,
+                c.sample.label,
+                c.sample.phase,
+                c.baseline,
+                c.sample.value,
+                c.ratio
+            );
         }
         std::process::exit(1);
     }

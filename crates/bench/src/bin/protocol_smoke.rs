@@ -30,7 +30,12 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use uldp_bench::{millis, pooled_vs_sequential_round, BenchEntry, BenchSection};
-use uldp_core::{PrivateWeightingProtocol, ProtocolConfig};
+use uldp_core::{
+    ByzantineStrategy, FaultPlan, FlConfig, Method, PrivateWeightingProtocol, ProtocolConfig,
+    Trainer, WeightingStrategy,
+};
+use uldp_datasets::creditcard::{self, CreditcardConfig};
+use uldp_ml::LinearClassifier;
 use uldp_runtime::Runtime;
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -164,6 +169,11 @@ fn main() {
         Err(e) => eprintln!("Failed to write benchmark JSON: {e}"),
     }
 
+    // Per-section gauge lifecycle: the memory section above already captured its peak,
+    // so clear the shared gauge before the next measured sections — otherwise they
+    // would inherit the round's high-water mark.
+    Runtime::global().fold_gauge().reset();
+
     // Single-core engine comparison on the acceptance workload: a 2048-bit
     // scalar_mul-shaped batch (fixed base, 64 half-width exponents). The three paths
     // are asserted bitwise-identical inside the comparison.
@@ -184,5 +194,62 @@ fn main() {
     match uldp_bench::modpow::write_modpow_section(&cmp) {
         Ok(path) => println!("Wrote modpow section to {}", path.display()),
         Err(e) => eprintln!("Failed to write modpow section: {e}"),
+    }
+
+    // A tiny faulted training run (2 rounds, dropouts + stragglers + byzantine
+    // corruption) so a single traced smoke also exercises the training-side spans, the
+    // scenario fault events and the privacy ledger. It runs untraced too — the history
+    // fingerprint below must be bitwise-identical with and without ULDP_TRACE, which CI
+    // diffs the same way as the AGG lines.
+    Runtime::global().fold_gauge().reset();
+    let mut train_rng = StdRng::seed_from_u64(0x00fa_0175);
+    let train_dataset = creditcard::generate(
+        &mut train_rng,
+        &CreditcardConfig {
+            train_records: 150,
+            test_records: 30,
+            num_silos: 4,
+            num_users: 20,
+            ..Default::default()
+        },
+    );
+    let method = Method::UldpAvg { weighting: WeightingStrategy::Uniform };
+    let mut train_config = FlConfig::recommended(method, train_dataset.num_silos);
+    train_config.rounds = 2;
+    train_config.local_epochs = 1;
+    train_config.sigma = 1.0;
+    train_config.clip_bound = 1.0;
+    train_config.fault_plan = FaultPlan {
+        dropout_fraction: 0.5,
+        delay_fraction: 0.25,
+        delay_ms: 50,
+        byzantine_fraction: 0.5,
+        byzantine: ByzantineStrategy::SignFlip,
+        seed: 7,
+    };
+    let model = Box::new(LinearClassifier::new(train_dataset.feature_dim(), 2));
+    let history = Trainer::new(train_config, train_dataset, model).run();
+    let mut train_fp = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the final parameter bits
+    for p in &history.final_parameters {
+        for byte in p.to_bits().to_le_bytes() {
+            train_fp ^= byte as u64;
+            train_fp = train_fp.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    println!("TRN faulted_avg {train_fp:016x} (eps {:.3})", history.final_epsilon());
+
+    // Traced runs additionally export everything the process recorded: the `telemetry`
+    // report section, the chrome-trace JSON (ULDP_TRACE_OUT) and a flat summary.
+    if uldp_telemetry::enabled() {
+        match uldp_bench::telemetry_report::write_telemetry_section(threads, paillier_bits) {
+            Ok(path) => println!("Wrote telemetry section to {}", path.display()),
+            Err(e) => eprintln!("Failed to write telemetry section: {e}"),
+        }
+        match uldp_telemetry::export::write_chrome_trace_default() {
+            Ok(Some(path)) => println!("Wrote chrome trace to {}", path.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("Failed to write chrome trace: {e}"),
+        }
+        print!("{}", uldp_telemetry::export::summary());
     }
 }

@@ -22,6 +22,7 @@ use uldp_bench::scenarios::{evaluate_scenarios, print_scenario_table, write_scen
 use uldp_core::{FlConfig, Method, Scenario, Trainer, TrainingHistory, WeightingStrategy};
 use uldp_datasets::creditcard::{self, CreditcardConfig};
 use uldp_ml::LinearClassifier;
+use uldp_runtime::Runtime;
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -120,7 +121,9 @@ fn main() {
     );
 
     // Per-scenario membership inference vs the accountant's ε, into the `scenarios`
-    // report section.
+    // report section. The determinism grid above folded on the shared runtime, so clear
+    // its gauge first — otherwise this section inherits the grid's high-water mark.
+    Runtime::global().fold_gauge().reset();
     let outcomes = evaluate_scenarios(rounds.max(3), 240, 1.0);
     print_scenario_table(&outcomes);
     match write_scenarios_section(&outcomes) {

@@ -25,6 +25,8 @@
 pub mod modpow;
 pub mod report;
 pub mod scenarios;
+pub mod telemetry_report;
+pub mod trend;
 
 use rand::rngs::StdRng;
 use uldp_core::{

@@ -403,6 +403,30 @@ mod tests {
     }
 
     #[test]
+    fn write_is_atomic_rename_with_no_stray_tmp() {
+        // The merge path writes a sibling `.tmp` and renames it over the target; after
+        // a successful write the temp file must be gone and the merged file must parse
+        // both structurally and through the flat phase parser.
+        let dir = std::env::temp_dir().join(format!("uldp-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_protocol.json");
+        let _ = std::fs::remove_file(&path);
+
+        sample_section("alpha", 1).write_to(&path).unwrap();
+        sample_section("beta", 2).write_to(&path).unwrap();
+        let tmp_left = dir.join("BENCH_protocol.json.tmp").exists();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        assert!(!tmp_left, "atomic-rename temp file left behind");
+        assert_eq!(split_top_level_sections(&text).len(), 2);
+        let samples = parse_report_phases(&text);
+        assert_eq!(samples.len(), 4, "2 sections x 2 phases survive the merge");
+        assert!(samples.iter().any(|s| s.section == "alpha"));
+        assert!(samples.iter().any(|s| s.section == "beta"));
+    }
+
+    #[test]
     fn garbage_files_are_reset_not_crashed() {
         assert!(split_top_level_sections("not json at all").is_empty());
         assert!(split_top_level_sections("{\"a\": [1, 2]}").is_empty());

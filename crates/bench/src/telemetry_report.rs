@@ -1,0 +1,94 @@
+//! The `telemetry` section of `BENCH_protocol.json`.
+//!
+//! `uldp-telemetry` is a leaf crate (it sits below the whole workspace so every layer
+//! can emit into it), so it cannot depend on the bench report writer. The bridge lives
+//! here instead: snapshot the process-wide registry — per-`(cat, name)` span totals,
+//! counter values, gauge peaks and histogram aggregates — into one [`BenchSection`]
+//! that merges into the shared report file next to the timing sections. All values ride
+//! in the schema's `phases_ms` map (counters and counts are dimensionless; the key
+//! names say which is which), so `parse_report_phases` and `bench_trend` see them with
+//! no schema change.
+
+use crate::{BenchEntry, BenchSection};
+use std::path::PathBuf;
+use uldp_telemetry::{export, metrics};
+
+/// Builds the `telemetry` section from the current process's telemetry registry.
+///
+/// Four entries: `span_totals` (total milliseconds per `cat.name`), `span_counts`
+/// (spans recorded per `cat.name`), `counters` (every registered counter, including
+/// zeros so the schema is stable across runs) and `gauges_and_histograms` (gauge peaks
+/// plus histogram count/sum aggregates).
+pub fn telemetry_section(threads: usize, paillier_bits: usize) -> BenchSection {
+    let mut section = BenchSection::new("telemetry", threads, paillier_bits);
+
+    let stats = export::span_stats();
+    let mut span_totals = BenchEntry::new("span_totals");
+    let mut span_counts = BenchEntry::new("span_counts");
+    for stat in &stats {
+        let key = format!("{}.{}", stat.cat, stat.name);
+        span_totals.phase(&key, stat.total_us as f64 / 1e3);
+        span_counts.phase(&key, stat.count as f64);
+    }
+
+    let mut counters = BenchEntry::new("counters");
+    for counter in metrics::all_counters() {
+        counters.phase(counter.name(), counter.get() as f64);
+    }
+
+    let mut other = BenchEntry::new("gauges_and_histograms");
+    for gauge in metrics::all_gauges() {
+        other.phase(&format!("{}.peak", gauge.name()), gauge.peak() as f64);
+    }
+    for hist in metrics::all_histograms() {
+        other.phase(&format!("{}.count", hist.name()), hist.count() as f64);
+        other.phase(&format!("{}.sum_ms", hist.name()), hist.sum_us() as f64 / 1e3);
+    }
+
+    section.entries.push(span_totals);
+    section.entries.push(span_counts);
+    section.entries.push(counters);
+    section.entries.push(other);
+    section
+}
+
+/// Writes (or merges) the `telemetry` section into `BENCH_protocol.json` (honouring
+/// `ULDP_BENCH_JSON`) and returns the path.
+pub fn write_telemetry_section(threads: usize, paillier_bits: usize) -> std::io::Result<PathBuf> {
+    telemetry_section(threads, paillier_bits).write()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::parse_report_phases;
+
+    #[test]
+    fn section_carries_all_registered_metrics() {
+        // Counters are included even at zero, so the section's schema does not depend
+        // on what happened to run first in this test process.
+        let section = telemetry_section(4, 512);
+        assert_eq!(section.name, "telemetry");
+        let counters =
+            section.entries.iter().find(|e| e.label == "counters").expect("counters entry");
+        let names: Vec<&str> = counters.phases_ms.iter().map(|(n, _)| n.as_str()).collect();
+        for expected in ["bigint.mont_mul", "crypto.paillier_encrypt", "privacy.ledger_entries"] {
+            assert!(names.contains(&expected), "missing counter {expected}");
+        }
+
+        let dir = std::env::temp_dir().join(format!("uldp-telemetry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_telemetry.json");
+        let _ = std::fs::remove_file(&path);
+        section.write_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let samples = parse_report_phases(&text);
+        assert!(samples.iter().all(|s| s.section == "telemetry"));
+        assert!(samples.iter().any(|s| s.label == "counters" && s.phase == "bigint.mont_mul"));
+        assert!(samples
+            .iter()
+            .any(|s| s.label == "gauges_and_histograms" && s.phase == "runtime.fold_bytes.peak"));
+    }
+}

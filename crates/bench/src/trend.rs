@@ -1,0 +1,191 @@
+//! The perf-trend comparison behind the `bench_trend` binary.
+//!
+//! Joins a fresh report's phase samples against a baseline's on `(section, label,
+//! phase)` and classifies every fresh sample: compared (with a regression verdict),
+//! skipped (baseline below the noise floor), unmatched (key missing from a section the
+//! baseline *does* have) or part of a new section the baseline predates (informational
+//! only — new coverage must never fail the gate). The binary owns only argument
+//! parsing, printing and exit codes, so this logic is testable with synthetic reports.
+
+use crate::report::PhaseSample;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Thresholds of the trend check.
+#[derive(Clone, Copy, Debug)]
+pub struct TrendConfig {
+    /// A compared phase regresses when `fresh / baseline` exceeds this factor.
+    pub factor: f64,
+    /// Baseline values below this floor are skipped (sub-floor phases are noise).
+    pub min_ms: f64,
+}
+
+impl Default for TrendConfig {
+    fn default() -> Self {
+        TrendConfig { factor: 2.0, min_ms: 100.0 }
+    }
+}
+
+/// One fresh sample joined with its baseline value.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// The fresh sample.
+    pub sample: PhaseSample,
+    /// The baseline value it was joined with.
+    pub baseline: f64,
+    /// `sample.value / baseline`.
+    pub ratio: f64,
+    /// Whether the ratio exceeds the configured factor.
+    pub regressed: bool,
+}
+
+/// The full outcome of one trend comparison.
+#[derive(Clone, Debug, Default)]
+pub struct TrendReport {
+    /// Every fresh sample whose key the baseline also has, above the floor.
+    pub comparisons: Vec<Comparison>,
+    /// Fresh samples skipped because their baseline value sat below the floor.
+    pub skipped_small: usize,
+    /// Fresh samples whose key is missing from a section the baseline *does* contain.
+    pub unmatched: usize,
+    /// Sections present only in the fresh report — `section → sample count`. These are
+    /// new coverage (the committed baseline predates them) and never regressions.
+    pub new_sections: BTreeMap<String, usize>,
+    /// Fresh samples outside the new sections — the population that *could* have been
+    /// compared. Zero comparisons with a non-zero comparable population means the two
+    /// reports share no keys, which the binary treats as an error.
+    pub comparable_fresh: usize,
+}
+
+impl TrendReport {
+    /// The regressed comparisons, in fresh-report order.
+    pub fn regressions(&self) -> Vec<&Comparison> {
+        self.comparisons.iter().filter(|c| c.regressed).collect()
+    }
+
+    /// True when the shared sections produced nothing to compare (the gate would
+    /// silently pass forever, so the binary exits non-zero).
+    pub fn nothing_comparable(&self) -> bool {
+        self.comparisons.is_empty() && self.comparable_fresh > 0
+    }
+}
+
+/// Joins `fresh` against `baseline` and classifies every fresh sample.
+pub fn compare(baseline: &[PhaseSample], fresh: &[PhaseSample], cfg: TrendConfig) -> TrendReport {
+    let baseline_sections: BTreeSet<&str> = baseline.iter().map(|s| s.section.as_str()).collect();
+    let baseline_values: BTreeMap<_, _> = baseline.iter().map(|s| (s.key(), s.value)).collect();
+
+    let mut report = TrendReport::default();
+    for sample in fresh {
+        let Some(&base) = baseline_values.get(&sample.key()) else {
+            if baseline_sections.contains(sample.section.as_str()) {
+                report.unmatched += 1;
+            } else {
+                *report.new_sections.entry(sample.section.clone()).or_insert(0) += 1;
+            }
+            continue;
+        };
+        if base < cfg.min_ms {
+            report.skipped_small += 1;
+            continue;
+        }
+        let ratio = sample.value / base;
+        report.comparisons.push(Comparison {
+            sample: sample.clone(),
+            baseline: base,
+            ratio,
+            regressed: ratio > cfg.factor,
+        });
+    }
+    report.comparable_fresh = fresh.len() - report.new_sections.values().sum::<usize>();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(section: &str, label: &str, phase: &str, value: f64) -> PhaseSample {
+        PhaseSample {
+            section: section.to_string(),
+            label: label.to_string(),
+            phase: phase.to_string(),
+            value,
+        }
+    }
+
+    #[test]
+    fn flags_only_regressions_past_the_factor() {
+        let baseline =
+            vec![sample("smoke", "w", "round", 200.0), sample("smoke", "w", "agg", 150.0)];
+        let fresh = vec![
+            sample("smoke", "w", "round", 500.0), // 2.5x — regression
+            sample("smoke", "w", "agg", 290.0),   // ~1.93x — fine
+        ];
+        let report = compare(&baseline, &fresh, TrendConfig::default());
+        assert_eq!(report.comparisons.len(), 2);
+        let regressions = report.regressions();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].sample.phase, "round");
+        assert!((regressions[0].ratio - 2.5).abs() < 1e-9);
+        assert!(!report.nothing_comparable());
+    }
+
+    #[test]
+    fn baseline_floor_skips_noisy_small_phases() {
+        // A 50 ms phase exploding 10x stays below the 100 ms floor and never fails.
+        let baseline = vec![sample("smoke", "w", "tiny", 50.0)];
+        let fresh = vec![sample("smoke", "w", "tiny", 500.0)];
+        let report = compare(&baseline, &fresh, TrendConfig::default());
+        assert!(report.comparisons.is_empty());
+        assert_eq!(report.skipped_small, 1);
+        // ...but it still counted as comparable, so the nothing-comparable error holds
+        // only when shared sections truly produced no joinable keys above the floor.
+        assert!(report.nothing_comparable());
+    }
+
+    #[test]
+    fn new_sections_are_informational_never_failures() {
+        let baseline = vec![sample("smoke", "w", "round", 200.0)];
+        let fresh = vec![
+            sample("smoke", "w", "round", 210.0),
+            // a whole section the committed baseline predates, with a huge value
+            sample("telemetry", "counters", "bigint.mont_mul", 1e9),
+            sample("telemetry", "span_totals", "protocol.aggregation", 1e9),
+        ];
+        let report = compare(&baseline, &fresh, TrendConfig::default());
+        assert!(report.regressions().is_empty());
+        assert_eq!(report.new_sections.get("telemetry"), Some(&2));
+        assert_eq!(report.comparable_fresh, 1);
+        assert!(!report.nothing_comparable());
+    }
+
+    #[test]
+    fn fresh_report_of_only_new_sections_is_not_an_error() {
+        let baseline = vec![sample("smoke", "w", "round", 200.0)];
+        let fresh = vec![sample("telemetry", "counters", "bigint.mont_mul", 42.0)];
+        let report = compare(&baseline, &fresh, TrendConfig::default());
+        assert_eq!(report.comparable_fresh, 0);
+        assert!(!report.nothing_comparable(), "new coverage alone must not fail the gate");
+    }
+
+    #[test]
+    fn unmatched_keys_in_shared_sections_are_counted_not_failed() {
+        let baseline = vec![sample("smoke", "w", "round", 200.0)];
+        let fresh = vec![
+            sample("smoke", "w", "round", 220.0),
+            sample("smoke", "w", "brand_new_phase", 9999.0),
+        ];
+        let report = compare(&baseline, &fresh, TrendConfig::default());
+        assert_eq!(report.unmatched, 1);
+        assert!(report.regressions().is_empty());
+    }
+
+    #[test]
+    fn disjoint_reports_trip_the_nothing_comparable_error() {
+        let baseline = vec![sample("smoke", "old_label", "round", 200.0)];
+        let fresh = vec![sample("smoke", "new_label", "round", 220.0)];
+        let report = compare(&baseline, &fresh, TrendConfig::default());
+        assert_eq!(report.unmatched, 1);
+        assert!(report.nothing_comparable());
+    }
+}

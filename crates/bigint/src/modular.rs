@@ -52,6 +52,7 @@ pub fn mod_neg(a: &BigUint, n: &BigUint) -> BigUint {
 /// `0^0 mod n` is defined as `1 mod n`.
 pub fn mod_pow(base: &BigUint, exp: &BigUint, n: &BigUint) -> BigUint {
     assert!(!n.is_zero(), "modulus must be positive");
+    uldp_telemetry::metrics::MODPOW_GENERIC.inc();
     if n.is_one() {
         return BigUint::zero();
     }

@@ -143,6 +143,7 @@ impl ModulusCtx {
 
     /// Montgomery product `a·b·R⁻¹ mod n`.
     pub fn mont_mul(&self, a: &MontElem, b: &MontElem) -> MontElem {
+        uldp_telemetry::metrics::MONT_MUL.inc();
         MontElem { limbs: self.mont_mul_limbs(&a.limbs, &b.limbs) }
     }
 
@@ -150,6 +151,7 @@ impl ModulusCtx {
     /// `mont_mul(a, a)` but ~1.5× cheaper: the squaring ladder of
     /// [`ModulusCtx::pow_mont`] is dominated by this operation.
     pub fn mont_sqr(&self, a: &MontElem) -> MontElem {
+        uldp_telemetry::metrics::MONT_SQR.inc();
         MontElem { limbs: self.mont_sqr_limbs(&a.limbs) }
     }
 
@@ -309,6 +311,7 @@ impl ModulusCtx {
 
     /// Montgomery-domain exponentiation by left-to-right sliding window.
     pub fn pow_mont(&self, base: &MontElem, exp: &BigUint) -> MontElem {
+        uldp_telemetry::metrics::MODPOW_WINDOW.inc();
         let bits = exp.bit_length();
         if bits == 0 {
             return self.one();
@@ -451,9 +454,11 @@ impl FixedBaseCtx {
             return BigUint::one();
         }
         if bits > self.max_bits {
-            // Out of table range (callers normally reduce exponents first).
+            // Out of table range (callers normally reduce exponents first); counted by
+            // `pow_mont` as a sliding-window exponentiation, which it is.
             return self.ctx.from_mont(&self.ctx.pow_mont(&self.base, exp));
         }
+        uldp_telemetry::metrics::MODPOW_FIXED_BASE.inc();
         let mut acc = self.ctx.one();
         for (t, row) in self.table.iter().enumerate() {
             let mut digit = 0usize;

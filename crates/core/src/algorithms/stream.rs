@@ -169,6 +169,12 @@ where
     F: Fn(usize, usize) -> Option<Vec<f64>> + Sync,
 {
     let spans = shard_spans(tasks, num_silos, shards, chunk_size);
+    // The whole streaming fold as one span; the runtime adds one nested `fold_chunk`
+    // span per (silo, shard, chunk) range underneath it.
+    let _stream_span = uldp_telemetry::trace::span("train", "stream_silo_deltas")
+        .arg("tasks", tasks.len())
+        .arg("spans", spans.len())
+        .arg("dim", dim);
     rt.fold_gauge().record(spans.len() * DeltaAccumulator::bytes(dim));
     let ranges: Vec<Range<usize>> = spans.iter().map(|s| s.range.clone()).collect();
     let partials = rt.par_fold_ranges(

@@ -19,6 +19,7 @@ use crate::weighting::WeightMatrix;
 use uldp_datasets::FederatedDataset;
 use uldp_ml::{clipping, Model};
 use uldp_runtime::Runtime;
+use uldp_telemetry::{metrics, trace};
 
 /// Runs one ULDP-AVG round on the worker pool, updating `model` in place.
 ///
@@ -56,6 +57,7 @@ pub fn run_round(
     round_seed: u64,
 ) {
     debug_assert!(weights.satisfies_sensitivity_constraint(1e-9));
+    let _round_span = trace::span("train", "uldp_avg_round").arg("round", round_seed);
     let global = model.parameters().to_vec();
     let dim = global.len();
     let template = model.clone_model();
@@ -65,6 +67,19 @@ pub fn run_round(
     let dropped = plan.dropped_silos(round_seed, dataset.num_silos);
     let byzantine = plan.byzantine_silos(round_seed, dataset.num_silos);
     let surviving = dropped.iter().filter(|&&d| !d).count();
+
+    if uldp_telemetry::enabled() {
+        for (silo, &d) in dropped.iter().enumerate() {
+            if d {
+                metrics::FAULT_EVENTS.inc();
+                trace::event(
+                    "fault",
+                    "dropout",
+                    vec![("round", round_seed.into()), ("silo", silo.into())],
+                );
+            }
+        }
+    }
 
     let mut tasks = participating_tasks(dataset, weights);
     tasks.retain(|&(silo_id, _)| !dropped[silo_id]);
@@ -96,6 +111,18 @@ pub fn run_round(
             );
             if byzantine[silo_id] {
                 plan.corrupt_delta(&mut delta, round_seed, dataset.num_users, silo_id, user);
+                if uldp_telemetry::enabled() {
+                    metrics::FAULT_EVENTS.inc();
+                    trace::event(
+                        "fault",
+                        "byzantine",
+                        vec![
+                            ("round", round_seed.into()),
+                            ("silo", silo_id.into()),
+                            ("user", user.into()),
+                        ],
+                    );
+                }
             }
             clipping::clip_to_norm(&mut delta, config.clip_bound);
             let w = weights.get(silo_id, user);

@@ -13,6 +13,7 @@ use crate::weighting::WeightMatrix;
 use uldp_datasets::FederatedDataset;
 use uldp_ml::{clipping, Model};
 use uldp_runtime::Runtime;
+use uldp_telemetry::{metrics, trace};
 
 /// Runs one ULDP-SGD round on the worker pool, updating `model` in place.
 ///
@@ -36,6 +37,7 @@ pub fn run_round(
     round_seed: u64,
 ) {
     debug_assert!(weights.satisfies_sensitivity_constraint(1e-9));
+    let _round_span = trace::span("train", "uldp_sgd_round").arg("round", round_seed);
     let global = model.parameters().to_vec();
     let dim = global.len();
     let template = model.clone_model();
@@ -45,6 +47,19 @@ pub fn run_round(
     let dropped = plan.dropped_silos(round_seed, dataset.num_silos);
     let byzantine = plan.byzantine_silos(round_seed, dataset.num_silos);
     let surviving = dropped.iter().filter(|&&d| !d).count();
+
+    if uldp_telemetry::enabled() {
+        for (silo, &d) in dropped.iter().enumerate() {
+            if d {
+                metrics::FAULT_EVENTS.inc();
+                trace::event(
+                    "fault",
+                    "dropout",
+                    vec![("round", round_seed.into()), ("silo", silo.into())],
+                );
+            }
+        }
+    }
 
     let mut tasks = participating_tasks(dataset, weights);
     tasks.retain(|&(silo_id, _)| !dropped[silo_id]);
@@ -65,6 +80,18 @@ pub fn run_round(
             let mut grad = silo::local_gradient(scratch.as_mut(), &global, &records);
             if byzantine[silo_id] {
                 plan.corrupt_delta(&mut grad, round_seed, dataset.num_users, silo_id, user);
+                if uldp_telemetry::enabled() {
+                    metrics::FAULT_EVENTS.inc();
+                    trace::event(
+                        "fault",
+                        "byzantine",
+                        vec![
+                            ("round", round_seed.into()),
+                            ("silo", silo_id.into()),
+                            ("user", user.into()),
+                        ],
+                    );
+                }
             }
             clipping::clip_to_norm(&mut grad, config.clip_bound);
             let w = weights.get(silo_id, user);

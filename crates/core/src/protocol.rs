@@ -53,7 +53,7 @@ use crate::scenario::FaultPlan;
 use crate::weighting::WeightMatrix;
 use rand::Rng;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use uldp_bigint::modular::{mod_inv, mod_mul};
 use uldp_bigint::montgomery::FixedBaseCtx;
 use uldp_bigint::BigUint;
@@ -63,6 +63,7 @@ use uldp_crypto::oblivious_transfer::OneOutOfP;
 use uldp_crypto::paillier::{Ciphertext, PaillierKeyPair, PaillierPublicKey, ScalarMulCtx};
 use uldp_crypto::{FixedPointCodec, MultiplicativeBlinder};
 use uldp_runtime::{seeding, Runtime};
+use uldp_telemetry::{metrics, trace};
 
 /// Cryptographic parameters of the protocol.
 #[derive(Clone, Debug)]
@@ -274,7 +275,7 @@ impl PrivateWeightingProtocol {
         let runtime = Runtime::handle(config.threads);
 
         // --- Step 1.(a)-(c): key generation and pairwise seed agreement. ---
-        let key_start = Instant::now();
+        let key_span = trace::timed_span("protocol", "key_exchange");
         let paillier = PaillierKeyPair::generate(rng, config.paillier_bits);
         // Warm the ciphertext-modulus Montgomery context during setup so every round
         // (steps 2.(a)-(c)) shares the cached engine state and no phase ever pays for
@@ -300,7 +301,7 @@ impl PrivateWeightingProtocol {
         // channels; the server never sees it.
         let mut blind_seed = [0u8; 32];
         rng.fill(&mut blind_seed);
-        let key_exchange = key_start.elapsed();
+        let key_exchange = key_span.finish();
 
         let modulus = paillier.public.n.clone();
         let codec = FixedPointCodec::new(config.precision, modulus.clone());
@@ -308,7 +309,7 @@ impl PrivateWeightingProtocol {
         let blinder = MultiplicativeBlinder::new(blind_seed, modulus.clone());
 
         // --- Step 1.(d)-(e): blinded, masked histogram aggregation. ---
-        let hist_start = Instant::now();
+        let hist_span = trace::timed_span("protocol", "histogram_blinding");
         let silo_histograms: Vec<Vec<u64>> =
             histogram.iter().map(|row| row.iter().map(|&c| c as u64).collect()).collect();
         let mut user_totals = vec![0u64; num_users];
@@ -337,16 +338,16 @@ impl PrivateWeightingProtocol {
             }
             total
         });
-        let histogram_blinding = hist_start.elapsed();
+        let histogram_blinding = hist_span.finish();
 
         // --- Step 1.(f): server inverts the blinded totals (one mod_inv per user). ---
-        let inv_start = Instant::now();
+        let inv_span = trace::timed_span("protocol", "inverse_computation");
         let blinded_inverses: Vec<Option<BigUint>> =
             runtime.par_map(
                 &blinded_totals,
                 |_, b| if b.is_zero() { None } else { mod_inv(b, &modulus) },
             );
-        let inverse_computation = inv_start.elapsed();
+        let inverse_computation = inv_span.finish();
 
         PrivateWeightingProtocol {
             num_silos,
@@ -445,7 +446,7 @@ impl PrivateWeightingProtocol {
         // per-user encryption randomness is derived from (seed, u), so the ciphertexts
         // are bitwise-identical at any thread count without capping the entropy of the
         // encryption randomizers.
-        let enc_start = Instant::now();
+        let enc_span = trace::timed_span("protocol", "server_encryption");
         let batch_seed = seeding::wide_seed_from_rng(rng);
         let plaintexts: Vec<BigUint> = (0..self.num_users)
             .map(|u| {
@@ -458,7 +459,7 @@ impl PrivateWeightingProtocol {
             .collect();
         let encrypted_inverses =
             self.paillier.public.encrypt_batch(&self.runtime, batch_seed, &plaintexts);
-        let server_encryption = enc_start.elapsed();
+        let server_encryption = enc_span.finish();
 
         // --- Steps 2.(b)-(c): silo-side encrypted weighting, secure aggregation of
         // ciphertexts, decryption and decoding. The pairwise additive masks cancel in the
@@ -508,7 +509,7 @@ impl PrivateWeightingProtocol {
         assert!(dim > 0, "model dimension must be positive");
 
         // Step 2.(a) is unchanged: the server encrypts before any silo drops.
-        let enc_start = Instant::now();
+        let enc_span = trace::timed_span("protocol", "server_encryption");
         let batch_seed = seeding::wide_seed_from_rng(rng);
         let plaintexts: Vec<BigUint> = (0..self.num_users)
             .map(|u| {
@@ -521,10 +522,34 @@ impl PrivateWeightingProtocol {
             .collect();
         let encrypted_inverses =
             self.paillier.public.encrypt_batch(&self.runtime, batch_seed, &plaintexts);
-        let server_encryption = enc_start.elapsed();
+        let server_encryption = enc_span.finish();
 
         let dropped = self.fault_plan.dropped_silos(round, self.num_silos);
         let delayed = self.fault_plan.delayed_silos(round, self.num_silos);
+        if uldp_telemetry::enabled() {
+            // Structured fault events: one per affected silo, tagged with the round so
+            // traces of multi-round runs stay attributable.
+            for (silo, _) in dropped.iter().enumerate().filter(|(_, &d)| d) {
+                metrics::FAULT_EVENTS.inc();
+                trace::event(
+                    "fault",
+                    "dropout",
+                    vec![("round", round.into()), ("silo", silo.into())],
+                );
+            }
+            for (silo, _) in delayed.iter().enumerate().filter(|(_, &d)| d) {
+                metrics::FAULT_EVENTS.inc();
+                trace::event(
+                    "fault",
+                    "delay",
+                    vec![
+                        ("round", round.into()),
+                        ("silo", silo.into()),
+                        ("delay_ms", self.fault_plan.delay_ms.into()),
+                    ],
+                );
+            }
+        }
         let (mut out, mut timings) = self.weighting_round_with_inverses(
             clipped_deltas,
             noises,
@@ -581,7 +606,7 @@ impl PrivateWeightingProtocol {
         // Server side: build the OT offers (step 2.a extended with dummies). Every user's
         // offer and transfer draw from an RNG derived from a 256-bit (seed, u) stream, so
         // the realised selection is identical at any thread count.
-        let enc_start = Instant::now();
+        let enc_span = trace::timed_span("protocol", "server_encryption");
         let batch_seed = seeding::wide_seed_from_rng(rng);
         let per_user: Vec<(Ciphertext, bool)> =
             self.runtime.par_map_wide_seeded(self.num_users, batch_seed, |u, rng| {
@@ -598,7 +623,7 @@ impl PrivateWeightingProtocol {
                 (output.item, was_real)
             });
         let (chosen, selected_flags): (Vec<Ciphertext>, Vec<bool>) = per_user.into_iter().unzip();
-        let server_encryption = enc_start.elapsed();
+        let server_encryption = enc_span.finish();
 
         // Silo side and aggregation are identical to the plain round, using the chosen
         // ciphertexts in place of the server-published inverses.
@@ -622,7 +647,7 @@ impl PrivateWeightingProtocol {
     ) -> (Vec<f64>, RoundTimings) {
         let n = &self.paillier.public.n;
         let rt = &*self.runtime;
-        let silo_start = Instant::now();
+        let silo_span = trace::timed_span("protocol", "silo_weighting");
         for silo in 0..self.num_silos {
             assert_eq!(clipped_deltas[silo].len(), self.num_users, "per-user deltas required");
             assert_eq!(noises[silo].len(), dim, "noise dimensionality mismatch");
@@ -746,17 +771,21 @@ impl PrivateWeightingProtocol {
             .map(|(_, total)| total)
             .collect();
         debug_assert_eq!(totals.len(), dim);
-        let silo_weighting = silo_start.elapsed();
+        let silo_weighting = silo_span.finish();
 
         // Step 2.(c) server side: parallel decryption — one CRT `c^λ mod n²` per
         // coordinate — and fixed-point decoding. (The homomorphic cross-silo sum is
-        // fused into the streaming fold above.)
-        let agg_start = Instant::now();
-        let out: Vec<f64> = rt.par_map(&totals, |_, total| {
+        // fused into the streaming fold above.) The `aggregation` span covers decryption
+        // plus decoding; each coordinate's decrypt additionally carries its own nested
+        // `decryption` span so traces show where the phase's time actually goes.
+        let agg_span = trace::timed_span("protocol", "aggregation");
+        let out: Vec<f64> = rt.par_map(&totals, |j, total| {
+            let dec_span = trace::span("protocol", "decryption").arg("coordinate", j);
             let decrypted = self.paillier.secret.decrypt(total);
+            drop(dec_span);
             self.codec.decode(&decrypted, &self.c_lcm)
         });
-        let aggregation = agg_start.elapsed();
+        let aggregation = agg_span.finish();
         (out, RoundTimings { server_encryption: Duration::ZERO, silo_weighting, aggregation })
     }
 

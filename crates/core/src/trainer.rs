@@ -18,6 +18,7 @@ use uldp_accounting::{Accountant, AlgorithmPrivacy};
 use uldp_datasets::FederatedDataset;
 use uldp_ml::{metrics, Model, ModelKind};
 use uldp_runtime::Runtime;
+use uldp_telemetry::trace;
 
 /// Utility and privacy measurements recorded after a round.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -230,6 +231,22 @@ impl Trainer {
             }
         }
         self.accountant.step_round();
+        // Privacy-budget ledger: one entry per accounted round with the running
+        // (ε, δ) total, so traces show privacy spend alongside the timing spans.
+        if uldp_telemetry::enabled() {
+            uldp_telemetry::metrics::LEDGER_ENTRIES.inc();
+            let epsilon = self.accountant.epsilon(self.config.delta);
+            trace::event(
+                "privacy",
+                "ledger",
+                vec![
+                    ("round", round.into()),
+                    ("rounds_accounted", self.accountant.rounds().into()),
+                    ("epsilon", epsilon.into()),
+                    ("delta", self.config.delta.into()),
+                ],
+            );
+        }
     }
 
     /// Evaluates the current model on the held-out test set.

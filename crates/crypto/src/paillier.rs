@@ -192,6 +192,7 @@ impl ScalarMulCtx {
     /// `Dec(pow(k)) = k · Dec(base) mod n` — the hoisted form of
     /// [`PaillierPublicKey::scalar_mul`], bitwise-identical to it.
     pub fn pow(&self, k: &BigUint) -> Ciphertext {
+        uldp_telemetry::metrics::PAILLIER_SCALAR_MUL.inc();
         let k = k.rem(&self.n);
         Ciphertext(match &self.inner {
             ScalarMulCtxInner::Generic { base, n_squared } => mod_pow(base, &k, n_squared),
@@ -229,6 +230,7 @@ impl PaillierPublicKey {
 
     /// Encrypts with explicit randomness `r` (must be a unit mod `n`); used in tests.
     pub fn encrypt_with_randomness(&self, m: &BigUint, r: &BigUint) -> Ciphertext {
+        uldp_telemetry::metrics::PAILLIER_ENCRYPT.inc();
         // (1 + m*n) mod n^2 — stays in normal form; only r^n runs in Montgomery form.
         let gm = BigUint::one().add(&m.mul(&self.n)).rem(&self.n_squared);
         let rn = if engine_disabled() {
@@ -258,6 +260,7 @@ impl PaillierPublicKey {
 
     /// Homomorphic scalar multiplication: `Dec(scalar_mul(a, k)) = k · Dec(a) mod n`.
     pub fn scalar_mul(&self, a: &Ciphertext, k: &BigUint) -> Ciphertext {
+        uldp_telemetry::metrics::PAILLIER_SCALAR_MUL.inc();
         let k = k.rem(&self.n);
         Ciphertext(if engine_disabled() {
             mod_pow(&a.0, &k, &self.n_squared)
@@ -407,6 +410,7 @@ impl PaillierSecretKey {
     /// mod `n²` — identical, bit for bit, to the direct exponentiation (debug builds
     /// cross-check against [`PaillierSecretKey::decrypt_generic`] on every call).
     pub fn decrypt(&self, c: &Ciphertext) -> BigUint {
+        uldp_telemetry::metrics::PAILLIER_DECRYPT.inc();
         if engine_disabled() {
             return self.decrypt_generic(c);
         }

@@ -91,10 +91,14 @@ pub struct MemoryGauge {
 
 impl MemoryGauge {
     /// Records the live accumulator bytes of one fold region.
+    ///
+    /// Also republishes the reading on the `runtime.fold_bytes` telemetry gauge, so
+    /// traced runs see fold footprints alongside spans without polling the gauge.
     pub fn record(&self, bytes: usize) {
         use std::sync::atomic::Ordering::Relaxed;
         self.last.store(bytes, Relaxed);
         self.peak.fetch_max(bytes, Relaxed);
+        uldp_telemetry::metrics::FOLD_BYTES.set(bytes as u64);
     }
 
     /// The bytes recorded by the most recent fold region.
@@ -290,6 +294,11 @@ impl Runtime {
             return Vec::new();
         }
         let run_range = |range: &std::ops::Range<usize>| {
+            // One span per fold chunk: traced runs see every chunk of every streaming
+            // fold (training shards, protocol cell chunks) as its own slice.
+            let _span = uldp_telemetry::trace::span("runtime", "fold_chunk")
+                .arg("start", range.start)
+                .arg("len", range.len());
             let mut acc = init();
             for i in range.clone() {
                 fold(&mut acc, i);

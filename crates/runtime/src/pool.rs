@@ -11,6 +11,8 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+use uldp_telemetry::{metrics, trace};
 
 /// A type-erased unit of work owned by the pool.
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -25,6 +27,40 @@ thread_local! {
 /// Whether the current thread is one of the pool's workers.
 pub(crate) fn on_worker_thread() -> bool {
     IS_WORKER.with(|w| w.get())
+}
+
+/// Holds the pool-occupancy gauge up for the duration of one job; the drop-based
+/// decrement keeps the gauge balanced even when the job unwinds.
+struct OccupancyGuard;
+
+impl OccupancyGuard {
+    fn new() -> OccupancyGuard {
+        metrics::POOL_OCCUPANCY.add(1);
+        OccupancyGuard
+    }
+}
+
+impl Drop for OccupancyGuard {
+    fn drop(&mut self) {
+        metrics::POOL_OCCUPANCY.sub(1);
+    }
+}
+
+/// Runs one pool task with telemetry: queue-wait and execution histograms, the job
+/// counter, the occupancy gauge and a `pool_job` span. `enqueued` was captured at
+/// submission time (only when tracing was on, so the untraced path never reads the
+/// clock).
+fn run_traced(task: impl FnOnce(), enqueued: Option<Instant>) {
+    let Some(enqueued) = enqueued else {
+        task();
+        return;
+    };
+    metrics::JOB_QUEUE_US.record_us(enqueued.elapsed().as_micros() as u64);
+    metrics::POOL_JOBS.inc();
+    let _occupancy = OccupancyGuard::new();
+    let span = trace::span("runtime", "pool_job");
+    task();
+    metrics::JOB_EXEC_US.record_us(span.finish().as_micros() as u64);
 }
 
 /// Completion state shared between one `run_tasks` batch and its jobs.
@@ -83,10 +119,15 @@ impl Pool {
             // still sound.)
             let sender = self.sender.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             let sender = sender.as_ref().expect("pool already shut down");
+            let traced = uldp_telemetry::enabled();
             for task in tasks {
                 let completion = Arc::clone(&completion);
+                // Captured before the send so queue wait starts at submission. Telemetry
+                // recording itself never unwinds (locks recover from poisoning), so the
+                // panic-free contract of this region is preserved.
+                let enqueued = traced.then(Instant::now);
                 let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
-                    let outcome = catch_unwind(AssertUnwindSafe(task));
+                    let outcome = catch_unwind(AssertUnwindSafe(|| run_traced(task, enqueued)));
                     if let Err(payload) = outcome {
                         completion
                             .panic

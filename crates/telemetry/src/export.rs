@@ -1,0 +1,340 @@
+//! Exporters: chrome-trace JSON, flat text summary, and aggregated span statistics.
+//!
+//! The chrome-trace output is the [Trace Event Format] consumed by `chrome://tracing`
+//! and [Perfetto](https://ui.perfetto.dev): complete (`"ph": "X"`) slices for spans,
+//! instant (`"ph": "i"`) markers for events, one row per logical thread. Counters,
+//! gauges and histograms ride along as a `metadata` pseudo-thread of instant events at
+//! export time plus the flat [`summary`].
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::metrics;
+use crate::trace::{self, ArgValue, Record};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Aggregate statistics for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStat {
+    pub cat: &'static str,
+    pub name: &'static str,
+    pub count: u64,
+    pub total_us: u64,
+    pub max_us: u64,
+}
+
+/// Per-name aggregates over every *span* record drained so far (instant events are
+/// counted separately by their metrics counters), sorted by category then name.
+pub fn span_stats() -> Vec<SpanStat> {
+    let mut stats: Vec<SpanStat> = Vec::new();
+    for record in trace::snapshot_records() {
+        let Some(dur) = record.dur_us else { continue };
+        match stats.iter_mut().find(|s| s.cat == record.cat && s.name == record.name) {
+            Some(s) => {
+                s.count += 1;
+                s.total_us += dur;
+                s.max_us = s.max_us.max(dur);
+            }
+            None => stats.push(SpanStat {
+                cat: record.cat,
+                name: record.name,
+                count: 1,
+                total_us: dur,
+                max_us: dur,
+            }),
+        }
+    }
+    stats.sort_by(|a, b| (a.cat, a.name).cmp(&(b.cat, b.name)));
+    stats
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn arg_json(value: &ArgValue) -> String {
+    match value {
+        ArgValue::Int(v) => v.to_string(),
+        ArgValue::Uint(v) => v.to_string(),
+        ArgValue::Float(v) if v.is_finite() => format!("{v}"),
+        ArgValue::Float(v) => format!("\"{v}\""),
+        ArgValue::Str(s) => format!("\"{}\"", escape_json(s)),
+    }
+}
+
+fn args_json(args: &[(&'static str, ArgValue)]) -> String {
+    let fields: Vec<String> =
+        args.iter().map(|(k, v)| format!("\"{}\":{}", escape_json(k), arg_json(v))).collect();
+    format!("{{{}}}", fields.join(","))
+}
+
+fn record_json(r: &Record) -> String {
+    let common = format!(
+        "\"name\":\"{}\",\"cat\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{},\"args\":{}",
+        escape_json(r.name),
+        escape_json(r.cat),
+        r.tid,
+        r.ts_us,
+        args_json(&r.args),
+    );
+    match r.dur_us {
+        Some(dur) => format!("{{\"ph\":\"X\",{common},\"dur\":{dur}}}"),
+        // "s": "t" scopes the instant marker to its thread row.
+        None => format!("{{\"ph\":\"i\",{common},\"s\":\"t\"}}"),
+    }
+}
+
+/// Serialises every drained record plus a metrics snapshot as chrome-trace JSON.
+pub fn chrome_trace_json() -> String {
+    let records = trace::snapshot_records();
+    let mut events: Vec<String> = records.iter().map(record_json).collect();
+    // Metrics become one instant event each on a reserved pseudo-thread (tid 0), stamped
+    // at export time — Perfetto shows them as a "metrics" row with args.
+    let ts = crate::now_us();
+    for c in metrics::all_counters() {
+        if c.get() > 0 {
+            events.push(format!(
+                "{{\"ph\":\"i\",\"name\":\"{}\",\"cat\":\"metric\",\"pid\":1,\"tid\":0,\
+                 \"ts\":{ts},\"s\":\"t\",\"args\":{{\"count\":{}}}}}",
+                escape_json(c.name()),
+                c.get()
+            ));
+        }
+    }
+    for g in metrics::all_gauges() {
+        if g.peak() > 0 {
+            events.push(format!(
+                "{{\"ph\":\"i\",\"name\":\"{}\",\"cat\":\"metric\",\"pid\":1,\"tid\":0,\
+                 \"ts\":{ts},\"s\":\"t\",\"args\":{{\"value\":{},\"peak\":{}}}}}",
+                escape_json(g.name()),
+                g.get(),
+                g.peak()
+            ));
+        }
+    }
+    for h in metrics::all_histograms() {
+        if h.count() > 0 {
+            let buckets: Vec<String> = h
+                .nonzero_buckets()
+                .iter()
+                .map(|&(bound, n)| format!("\"le_{bound}us\":{n}"))
+                .collect();
+            events.push(format!(
+                "{{\"ph\":\"i\",\"name\":\"{}\",\"cat\":\"metric\",\"pid\":1,\"tid\":0,\
+                 \"ts\":{ts},\"s\":\"t\",\"args\":{{\"count\":{},\"sum_us\":{},\"max_us\":{},{}}}}}",
+                escape_json(h.name()),
+                h.count(),
+                h.sum_us(),
+                h.max_us(),
+                buckets.join(",")
+            ));
+        }
+    }
+    format!("{{\"traceEvents\":[\n{}\n]}}\n", events.join(",\n"))
+}
+
+/// Writes [`chrome_trace_json`] to `path` (atomically: temp file + rename).
+pub fn write_chrome_trace(path: &Path) -> std::io::Result<()> {
+    let json = chrome_trace_json();
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, json)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// The chrome-trace output path: `ULDP_TRACE_OUT` or [`crate::DEFAULT_TRACE_OUT`].
+pub fn trace_out_path() -> PathBuf {
+    std::env::var(crate::TRACE_OUT_ENV)
+        .ok()
+        .filter(|v| !v.trim().is_empty())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(crate::DEFAULT_TRACE_OUT))
+}
+
+/// Writes the chrome trace to [`trace_out_path`] when telemetry is enabled; returns the
+/// path written, or `None` (and touches nothing) when telemetry is off.
+pub fn write_chrome_trace_default() -> std::io::Result<Option<PathBuf>> {
+    if !crate::enabled() {
+        return Ok(None);
+    }
+    let path = trace_out_path();
+    write_chrome_trace(&path)?;
+    Ok(Some(path))
+}
+
+/// A flat human-readable summary of spans, counters, gauges and histograms.
+pub fn summary() -> String {
+    let mut out = String::new();
+    let stats = span_stats();
+    if !stats.is_empty() {
+        out.push_str("spans (count, total ms, mean ms, max ms):\n");
+        for s in &stats {
+            let total_ms = s.total_us as f64 / 1e3;
+            let _ = writeln!(
+                out,
+                "  {:<36} {:>8} {:>12.3} {:>12.3} {:>12.3}",
+                format!("{}.{}", s.cat, s.name),
+                s.count,
+                total_ms,
+                total_ms / s.count as f64,
+                s.max_us as f64 / 1e3,
+            );
+        }
+    }
+    let counters: Vec<_> = metrics::all_counters().iter().filter(|c| c.get() > 0).collect();
+    if !counters.is_empty() {
+        out.push_str("counters:\n");
+        for c in counters {
+            let _ = writeln!(out, "  {:<36} {:>12}", c.name(), c.get());
+        }
+    }
+    let gauges: Vec<_> = metrics::all_gauges().iter().filter(|g| g.peak() > 0).collect();
+    if !gauges.is_empty() {
+        out.push_str("gauges (last / peak):\n");
+        for g in gauges {
+            let _ = writeln!(out, "  {:<36} {:>12} / {}", g.name(), g.get(), g.peak());
+        }
+    }
+    let hists: Vec<_> = metrics::all_histograms().iter().filter(|h| h.count() > 0).collect();
+    if !hists.is_empty() {
+        out.push_str("histograms (count, mean µs, max µs):\n");
+        for h in hists {
+            let _ = writeln!(
+                out,
+                "  {:<36} {:>8} {:>12.1} {:>12}",
+                h.name(),
+                h.count(),
+                h.sum_us() as f64 / h.count() as f64,
+                h.max_us(),
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("telemetry: no records\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal structural JSON validation (matching braces/brackets outside strings),
+    /// enough to catch malformed escaping or trailing commas without a JSON dep.
+    fn check_balanced_json(s: &str) {
+        let mut depth: i64 = 0;
+        let mut in_string = false;
+        let mut escaped = false;
+        let mut prev_significant = ' ';
+        for c in s.chars() {
+            if in_string {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_string = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_string = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    assert_ne!(prev_significant, ',', "trailing comma before {c}");
+                    depth -= 1;
+                    assert!(depth >= 0, "unbalanced close");
+                }
+                _ => {}
+            }
+            if !c.is_whitespace() {
+                prev_significant = c;
+            }
+        }
+        assert_eq!(depth, 0, "unbalanced JSON");
+        assert!(!in_string, "unterminated string");
+    }
+
+    #[test]
+    fn chrome_trace_is_structurally_valid_and_covers_records() {
+        let _g = crate::tests::test_guard();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _s = trace::span("test", "export_span").arg("label", "a \"quoted\"\nvalue");
+        }
+        trace::event("fault", "dropout", vec![("silo", 2u64.into())]);
+        metrics::MONT_MUL.add(10);
+        metrics::POOL_OCCUPANCY.add(3);
+        metrics::JOB_EXEC_US.record_us(120);
+        let json = chrome_trace_json();
+        crate::set_enabled(false);
+        crate::reset();
+        check_balanced_json(&json);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"export_span\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dropout\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"bigint.mont_mul\""));
+        assert!(json.contains("\"runtime.pool_occupancy\""));
+        assert!(json.contains("\"runtime.job_exec_us\""));
+        assert!(json.contains("a \\\"quoted\\\"\\nvalue"));
+    }
+
+    #[test]
+    fn span_stats_aggregate_by_name() {
+        let _g = crate::tests::test_guard();
+        crate::set_enabled(true);
+        crate::reset();
+        for _ in 0..3 {
+            let _s = trace::span("test", "agg");
+        }
+        let stats = span_stats();
+        crate::set_enabled(false);
+        crate::reset();
+        let agg = stats.iter().find(|s| s.name == "agg").expect("agg stat");
+        assert_eq!(agg.count, 3);
+        assert!(agg.max_us <= agg.total_us);
+    }
+
+    #[test]
+    fn summary_lists_all_metric_kinds() {
+        let _g = crate::tests::test_guard();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _s = trace::span("test", "summary_span");
+        }
+        metrics::PAILLIER_ENCRYPT.add(7);
+        metrics::FOLD_BYTES.set(4096);
+        metrics::JOB_QUEUE_US.record_us(5);
+        let text = summary();
+        crate::set_enabled(false);
+        crate::reset();
+        assert!(text.contains("test.summary_span"));
+        assert!(text.contains("crypto.paillier_encrypt"));
+        assert!(text.contains("runtime.fold_bytes"));
+        assert!(text.contains("runtime.job_queue_wait_us"));
+    }
+
+    #[test]
+    fn write_chrome_trace_default_is_inert_when_disabled() {
+        let _g = crate::tests::test_guard();
+        crate::set_enabled(false);
+        assert_eq!(write_chrome_trace_default().unwrap(), None);
+    }
+}

@@ -14,6 +14,7 @@
 //! | [`crypto`] | `uldp-crypto` | Paillier, Diffie–Hellman, SHA-256, masking, blinding, fixed-point codec |
 //! | [`bigint`] | `uldp-bigint` | arbitrary-precision integers, modular arithmetic, primes |
 //! | [`runtime`] | `uldp-runtime` | deterministic worker pool: `par_map`, `par_map_seeded`, `par_reduce` |
+//! | [`telemetry`] | `uldp-telemetry` | spans, counters, histograms, privacy ledger; chrome-trace export (`ULDP_TRACE`) |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@ pub use uldp_crypto as crypto;
 pub use uldp_datasets as datasets;
 pub use uldp_ml as ml;
 pub use uldp_runtime as runtime;
+pub use uldp_telemetry as telemetry;
 
 /// The workspace version.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
@@ -65,6 +67,7 @@ mod tests {
         let _ = crate::datasets::Allocation::Uniform;
         let _ = crate::ml::Sgd::new(0.1);
         assert!(crate::runtime::Runtime::global().threads() >= 1);
+        let _ = crate::telemetry::enabled();
         assert!(!crate::VERSION.is_empty());
     }
 }

@@ -109,6 +109,23 @@ fn peak_bytes_scale_with_span_count_not_user_count() {
 }
 
 #[test]
+fn per_section_reset_prevents_peak_inheritance() {
+    // The bench binaries measure several sections back-to-back on one shared runtime.
+    // `peak()` is a high-water mark, so a section that folds less than its predecessor
+    // inherits the old peak unless the binary resets the gauge per section — the
+    // lifecycle contract `protocol_smoke`/`scenario_smoke` now follow.
+    let rt = uldp_fl::runtime::Runtime::new(1);
+    let gauge = rt.fold_gauge();
+    gauge.record(4096); // section 1: a large round
+    gauge.record(512); // section 2 without a reset: stale peak
+    assert_eq!(gauge.peak(), 4096, "high-water mark survives smaller recordings");
+    gauge.reset();
+    assert_eq!((gauge.last(), gauge.peak()), (0, 0));
+    gauge.record(512); // section 2 measured after a per-section reset
+    assert_eq!(gauge.peak(), 512, "post-reset peak reflects only the new section");
+}
+
+#[test]
 fn peak_bytes_grow_with_the_chunk_count() {
     // Finer chunks mean more live partials: chunk_size = 1 degenerates to one span per
     // task (the seed's footprint shape, in accumulator units), so the gauge must report

@@ -1,0 +1,95 @@
+//! Tracing must observe, never perturb: a traced training run has to be bitwise-
+//! identical to an untraced one, because telemetry timestamps live only in timing
+//! fields — never in control flow or RNG streams.
+//!
+//! A single test function owns the whole file: `uldp_fl::telemetry::set_enabled`
+//! toggles process-global state, so concurrent test functions in this binary would
+//! race on the flag.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uldp_fl::core::{
+    ByzantineStrategy, FaultPlan, FlConfig, Method, Trainer, TrainingHistory, WeightingStrategy,
+};
+use uldp_fl::datasets::creditcard::{self, CreditcardConfig};
+use uldp_fl::ml::{LinearClassifier, Model};
+
+/// Collapses a history into its bit-exact content for comparison.
+fn bits(h: &TrainingHistory) -> Vec<u64> {
+    let mut out: Vec<u64> = h.final_parameters.iter().map(|p| p.to_bits()).collect();
+    for r in &h.rounds {
+        out.push(r.round);
+        out.push(r.epsilon.to_bits());
+        out.push(r.test_accuracy.map(|v| v.to_bits()).unwrap_or(u64::MAX));
+        out.push(r.test_loss.map(|v| v.to_bits()).unwrap_or(u64::MAX));
+    }
+    out
+}
+
+/// One faulted ULDP-AVG run with the given runtime structure.
+fn train(threads: usize, shards: usize, chunk: usize) -> TrainingHistory {
+    let mut rng = StdRng::seed_from_u64(41);
+    let dataset = creditcard::generate(
+        &mut rng,
+        &CreditcardConfig {
+            train_records: 150,
+            test_records: 30,
+            num_silos: 4,
+            num_users: 20,
+            ..Default::default()
+        },
+    );
+    let method = Method::UldpAvg { weighting: WeightingStrategy::RecordProportional };
+    let mut config = FlConfig::recommended(method, dataset.num_silos);
+    config.rounds = 2;
+    config.local_epochs = 1;
+    config.sigma = 1.0;
+    config.user_sampling = 0.7;
+    config.threads = threads;
+    config.shards = shards;
+    config.chunk_size = chunk;
+    // Faults on, so the traced run also walks the fault-event emission paths.
+    config.fault_plan = FaultPlan {
+        dropout_fraction: 0.5,
+        delay_fraction: 0.25,
+        delay_ms: 20,
+        byzantine_fraction: 0.5,
+        byzantine: ByzantineStrategy::SignFlip,
+        seed: 7,
+    };
+    let model: Box<dyn Model> = Box::new(LinearClassifier::new(dataset.feature_dim(), 2));
+    Trainer::new(config, dataset, model).run()
+}
+
+#[test]
+fn traced_and_untraced_histories_are_bitwise_identical() {
+    uldp_fl::telemetry::set_enabled(false);
+    let reference = bits(&train(1, 1, usize::MAX));
+
+    uldp_fl::telemetry::set_enabled(true);
+    // Tracing on, across a small (threads × shards × chunk) grid: every cell must land
+    // on the untraced sequential reference bit for bit.
+    for (threads, shards, chunk) in [(1, 1, usize::MAX), (2, 2, 4), (4, 3, 1)] {
+        let traced = bits(&train(threads, shards, chunk));
+        assert_eq!(
+            traced, reference,
+            "traced run diverged at threads={threads} shards={shards} chunk={chunk}"
+        );
+    }
+    // The traced runs actually recorded something (the flag was honoured)...
+    assert!(
+        !uldp_fl::telemetry::trace::snapshot_records().is_empty(),
+        "tracing was enabled but no records were captured"
+    );
+    assert!(uldp_fl::telemetry::metrics::FAULT_EVENTS.get() > 0, "fault events not emitted");
+    assert!(uldp_fl::telemetry::metrics::LEDGER_ENTRIES.get() > 0, "ledger entries not emitted");
+
+    // ...and an untraced re-run still matches after tracing is switched back off.
+    uldp_fl::telemetry::set_enabled(false);
+    uldp_fl::telemetry::reset();
+    assert_eq!(bits(&train(2, 2, 4)), reference);
+    assert!(
+        uldp_fl::telemetry::trace::snapshot_records().is_empty(),
+        "disabled tracing must record nothing"
+    );
+}
