@@ -35,6 +35,16 @@ fn bench_paillier(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("homomorphic_add", bits), &bits, |b, _| {
             b.iter(|| kp.public.add(&ciphertext, &ciphertext))
         });
+        // The multi-round cache's refresh paths: the one-shot r^n form vs the
+        // table-driven RerandCtx form (context construction amortised outside the
+        // iteration, matching the per-federation cache which builds it once).
+        group.bench_with_input(BenchmarkId::new("rerandomise", bits), &bits, |b, _| {
+            b.iter(|| kp.public.rerandomise(&mut rng, &ciphertext))
+        });
+        let rerand_ctx = kp.public.rerand_ctx(&mut rng);
+        group.bench_with_input(BenchmarkId::new("rerandomise_ctx", bits), &bits, |b, _| {
+            b.iter(|| rerand_ctx.rerandomise(&mut rng, &ciphertext))
+        });
     }
     group.finish();
 }
@@ -105,6 +115,27 @@ fn bench_modpow(c: &mut Criterion) {
                 let ctx = Arc::new(ModulusCtx::new(&modulus));
                 let fixed = FixedBaseCtx::new(ctx, &base, bits / 2);
                 exps.iter().map(|e| fixed.pow(e)).collect::<Vec<_>>()
+            })
+        });
+        // The fused cell shape of step 2.(b): Π baseᵢ^expᵢ for a 4-term product, as one
+        // interleaved ladder vs four independent pows multiplied together.
+        let fused_pairs: Vec<(BigUint, BigUint)> = (0..4)
+            .map(|i| {
+                (mod_pow(&base, &BigUint::from_u64(i + 2), &modulus), exps[i as usize].clone())
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("multi_exp_unfused4", bits), &bits, |b, _| {
+            b.iter(|| {
+                let ctx = ModulusCtx::new(&modulus);
+                fused_pairs.iter().fold(BigUint::one().rem(&modulus), |acc, (bs, e)| {
+                    uldp_bigint::modular::mod_mul(&acc, &ctx.pow(bs, e), &modulus)
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("multi_exp_fused4", bits), &bits, |b, _| {
+            b.iter(|| {
+                let ctx = ModulusCtx::new(&modulus);
+                ctx.multi_exp(&fused_pairs)
             })
         });
     }

@@ -15,13 +15,23 @@
 //! engine's measured O(chunks × dim) footprint, next to the seed shape's
 //! O(silos × dim) equivalent) as the `memory` section of the JSON, and runs the
 //! `modpow` engine comparison (generic vs Montgomery vs fixed-base on a 2048-bit
-//! `scalar_mul`-shaped batch, agreement asserted bitwise), appended as the `modpow`
-//! section; CI fails if either section is missing.
+//! `scalar_mul`-shaped batch, plus the re-randomisation and fused multi-exponentiation
+//! rows, agreement asserted bitwise), appended as the `modpow` section; CI fails if
+//! either section is missing.
+//!
+//! An 8-round replay over the same federation exercises the cross-round ciphertext
+//! cache: round 1 encrypts fresh, rounds 2..8 re-randomise, and each round's decrypted
+//! aggregate is printed as an `MRD <round> <fnv-hex>` fingerprint line (diffable against
+//! an `ULDP_FRESH_ENCRYPT=1` process, whose aggregates must be bitwise-identical). The
+//! per-round `server_encryption` timings land in the `multi_round` report section, and —
+//! unless the cache is bypassed or the generic engine forced — the binary asserts every
+//! cached round is at least 4x cheaper than round 1.
 //!
 //! The exit code is non-zero on any mismatch. Workload knobs: `ULDP_SMOKE_SILOS`,
 //! `ULDP_SMOKE_USERS`, `ULDP_SMOKE_PARAMS`, `ULDP_SMOKE_BITS`, `ULDP_MODPOW_BITS`,
 //! `ULDP_MODPOW_EXPS`. Setting `ULDP_GENERIC_MODPOW=1` forces the schoolbook
-//! exponentiation path everywhere; the AGG lines must not change (CI diffs them).
+//! exponentiation path everywhere; setting `ULDP_FRESH_ENCRYPT=1` disables ciphertext
+//! reuse. The AGG and MRD lines must not change under either knob (CI diffs them).
 //!
 //! ```bash
 //! cargo run --release -p uldp-bench --bin protocol_smoke
@@ -174,9 +184,72 @@ fn main() {
     // would inherit the round's high-water mark.
     Runtime::global().fold_gauge().reset();
 
+    // Multi-round replay on the pooled runtime: the same federation runs 8 weighting
+    // rounds back to back, so round 1 pays fresh encryption and rounds 2..8 hit the
+    // cross-round ciphertext cache (or re-encrypt every round under
+    // ULDP_FRESH_ENCRYPT=1 — the MRD fingerprints must not change, CI diffs them).
+    let protocol = protocol.with_runtime(Runtime::global());
+    protocol.reset_round_cache();
+    let num_rounds = 8usize;
+    let mut mrd_rng = StdRng::seed_from_u64(0x004d_5244); // "MRD"
+    let mut multi_round = BenchSection::new("multi_round", threads, paillier_bits);
+    let mut mrd_entry =
+        BenchEntry::new(format!("silos={num_silos} users={num_users} params={params}"));
+    let mut srv_enc_ms = Vec::with_capacity(num_rounds);
+    for round in 1..=num_rounds {
+        let (aggregate, timings) = protocol.weighting_round(&deltas, &noises, None, &mut mrd_rng);
+        let mut fp = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the decrypted aggregate bits
+        for v in &aggregate {
+            for byte in v.to_bits().to_le_bytes() {
+                fp ^= byte as u64;
+                fp = fp.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        println!("MRD {round} {fp:016x}");
+        let (fresh, rerandomised) = protocol.round_cache_stats();
+        let ms = millis(timings.server_encryption);
+        println!(
+            "mrd round={round} srv_enc {ms:9.1} ms | fresh {fresh} | rerandomised {rerandomised}"
+        );
+        mrd_entry.phase(&format!("round{round}"), ms);
+        srv_enc_ms.push(ms);
+    }
+    // Acceptance gate: with the cache active every re-randomised round must be at
+    // least 4x cheaper than the fresh round 1. Skipped when the cache is bypassed,
+    // when the generic engine removes the table-based fast path, or when the fresh
+    // round is too small for the ratio to be meaningful.
+    let cache_active =
+        !uldp_core::protocol::fresh_encrypt_forced() && !uldp_bigint::montgomery::engine_disabled();
+    if cache_active && srv_enc_ms[0] >= 5.0 {
+        for (i, &ms) in srv_enc_ms.iter().enumerate().skip(1) {
+            assert!(
+                ms * 4.0 <= srv_enc_ms[0],
+                "round {} server_encryption {ms:.1} ms is not 4x cheaper than round 1 \
+                 ({:.1} ms)",
+                i + 1,
+                srv_enc_ms[0]
+            );
+        }
+        println!(
+            "MULTI_ROUND ok: cached rounds {:.1}..{:.1} ms vs fresh {:.1} ms (>= 4x)",
+            srv_enc_ms[1..].iter().fold(f64::INFINITY, |a, &b| a.min(b)),
+            srv_enc_ms[1..].iter().fold(0.0f64, |a, &b| a.max(b)),
+            srv_enc_ms[0]
+        );
+    } else {
+        println!("MULTI_ROUND gate skipped (cache bypassed, generic engine, or tiny workload)");
+    }
+    multi_round.entries.push(mrd_entry);
+    match multi_round.write() {
+        Ok(path) => println!("Wrote multi_round section to {}", path.display()),
+        Err(e) => eprintln!("Failed to write multi_round section: {e}"),
+    }
+    Runtime::global().fold_gauge().reset();
+
     // Single-core engine comparison on the acceptance workload: a 2048-bit
-    // scalar_mul-shaped batch (fixed base, 64 half-width exponents). The three paths
-    // are asserted bitwise-identical inside the comparison.
+    // scalar_mul-shaped batch (fixed base, 64 half-width exponents), plus the
+    // re-randomisation and fused multi-exponentiation rows. Every path pair is
+    // asserted bitwise-identical inside its comparison.
     let modpow_bits = env_usize("ULDP_MODPOW_BITS", 2048);
     let modpow_exps = env_usize("ULDP_MODPOW_EXPS", 64);
     let cmp = uldp_bench::modpow::modpow_comparison(modpow_bits, modpow_exps, 1_000_033);
@@ -191,7 +264,30 @@ fn main() {
         cmp.fixed_base_ms,
         cmp.fixed_base_speedup(),
     );
-    match uldp_bench::modpow::write_modpow_section(&cmp) {
+    // 64 ops so the one-off RerandCtx table build is amortised the way the per-
+    // federation cache amortises it over users x rounds.
+    let rerand = uldp_bench::modpow::rerand_comparison(modpow_bits / 2, 64, 1_000_037);
+    println!(
+        "RERAND bits={} ops={}: encrypt {:9.1} ms | rerandomise {:9.1} ms | \
+         rerandomise_ctx {:9.1} ms ({:.2}x)",
+        rerand.modulus_bits,
+        rerand.num_ops,
+        rerand.encrypt_ms,
+        rerand.rerandomise_ms,
+        rerand.ctx_rerandomise_ms,
+        rerand.ctx_speedup(),
+    );
+    let fused = uldp_bench::modpow::multi_exp_comparison(modpow_bits, 4, 8, 1_000_039);
+    println!(
+        "MULTIEXP bits={} k={} products={}: unfused {:9.1} ms | fused {:9.1} ms ({:.2}x)",
+        fused.modulus_bits,
+        fused.k,
+        fused.num_products,
+        fused.unfused_ms,
+        fused.fused_ms,
+        fused.fused_speedup(),
+    );
+    match uldp_bench::modpow::write_modpow_section(&cmp, &rerand, &fused) {
         Ok(path) => println!("Wrote modpow section to {}", path.display()),
         Err(e) => eprintln!("Failed to write modpow section: {e}"),
     }

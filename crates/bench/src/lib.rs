@@ -186,6 +186,10 @@ pub fn pooled_vs_sequential_round(
     let (aggregate, timings) = protocol.weighting_round(deltas, noises, None, rng);
     let peak_fold_bytes = protocol.runtime().fold_gauge().peak();
     let protocol = protocol.with_runtime(Runtime::handle(1));
+    // The pooled round populated the cross-round ciphertext cache; drop it so the
+    // sequential replay pays the same full encryption cost and the speedup stays a
+    // pure threads comparison.
+    protocol.reset_round_cache();
     let (seq_aggregate, seq_timings) = protocol.weighting_round(deltas, noises, None, &mut seq_rng);
     assert_eq!(
         aggregate.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),

@@ -4,7 +4,11 @@
 //! raised to many half-width exponents over one odd modulus — on the three available
 //! paths and appends the result as the `modpow` section of `BENCH_protocol.json`
 //! (CI fails the smoke job if the section is missing). The three paths must agree
-//! bit for bit; [`modpow_comparison`] asserts it while measuring.
+//! bit for bit; [`modpow_comparison`] asserts it while measuring. Two companion
+//! comparisons cover the other Paillier hot paths: [`rerand_comparison`] (fresh
+//! encryption vs one-shot vs context re-randomisation, the multi-round cache shape)
+//! and [`multi_exp_comparison`] (unfused pow-then-multiply chains vs the interleaved
+//! `ModulusCtx::multi_exp`, the fused step 2.(b) cell shape).
 
 use crate::millis;
 use crate::report::{BenchEntry, BenchSection};
@@ -13,9 +17,10 @@ use rand::SeedableRng;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
-use uldp_bigint::modular::mod_pow;
+use uldp_bigint::modular::{mod_mul, mod_pow};
 use uldp_bigint::montgomery::{FixedBaseCtx, ModulusCtx};
 use uldp_bigint::BigUint;
+use uldp_crypto::paillier::PaillierPublicKey;
 
 /// Wall-clock of one batch of exponentiations on each path, plus the derived speedups.
 #[derive(Clone, Debug)]
@@ -87,9 +92,171 @@ pub fn modpow_comparison(modulus_bits: usize, num_exps: usize, seed: u64) -> Mod
     ModpowComparison { modulus_bits, exp_bits, num_exps, generic_ms, montgomery_ms, fixed_base_ms }
 }
 
-/// Writes the comparison as the `modpow` section of `BENCH_protocol.json` and returns
-/// the report path. Single-core by construction (the batch runs on the calling thread).
-pub fn write_modpow_section(cmp: &ModpowComparison) -> std::io::Result<PathBuf> {
+/// Wall-clock of refreshing one ciphertext `num_ops` times on each available path.
+///
+/// This is the multi-round shape of Protocol 1 step 2.(a): the cross-round cache
+/// replaces a fresh `Enc(m)` per round with a re-randomisation `c · h^t`, so the gap
+/// between `encrypt_ms` and `ctx_rerandomise_ms` is the per-user per-round saving.
+#[derive(Clone, Debug)]
+pub struct RerandComparison {
+    /// Bit length of the Paillier plaintext modulus `n` (ciphertexts live mod `n²`).
+    pub modulus_bits: usize,
+    /// Number of refresh operations measured per path.
+    pub num_ops: usize,
+    /// Fresh `Enc(m)` per operation (the uncached baseline).
+    pub encrypt_ms: f64,
+    /// One-shot [`PaillierPublicKey::rerandomise`] (`c · r^n`, full-width `r^n`).
+    pub rerandomise_ms: f64,
+    /// [`uldp_crypto::paillier::RerandCtx`] path (`c · h^t`, squaring-free table
+    /// lookups), context construction included.
+    pub ctx_rerandomise_ms: f64,
+}
+
+impl RerandComparison {
+    /// Speedup of the context re-randomisation path over fresh encryption.
+    pub fn ctx_speedup(&self) -> f64 {
+        self.encrypt_ms / self.ctx_rerandomise_ms.max(1e-9)
+    }
+}
+
+/// Measures fresh encryption vs one-shot vs context re-randomisation over one key.
+///
+/// The key is a bare `n` of `modulus_bits` random odd bits — encryption and
+/// re-randomisation only need the public-key arithmetic, so no slow prime generation is
+/// paid. The documented `rerandomise(c; r) = add(c, Enc(0; r))` equivalence is asserted
+/// on the way.
+pub fn rerand_comparison(modulus_bits: usize, num_ops: usize, seed: u64) -> RerandComparison {
+    assert!(modulus_bits >= 16, "modulus too small to be representative");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut n = BigUint::random_with_bits(&mut rng, modulus_bits);
+    if n.is_even() {
+        n = n.add(&BigUint::one());
+    }
+    let pk = PaillierPublicKey::new(n.clone());
+    let m = BigUint::random_below(&mut rng, &n);
+    let c = pk.encrypt(&mut rng, &m);
+    // Pin the equivalence the one-shot path relies on: Enc(0; r) = r^n, so
+    // re-randomising is exactly adding an encryption of zero.
+    let r = loop {
+        let r = BigUint::random_below(&mut rng, &n);
+        if uldp_bigint::gcd(&r, &n).is_one() {
+            break r;
+        }
+    };
+    assert_eq!(
+        pk.rerandomise_with_randomness(&c, &r),
+        pk.add(&c, &pk.encrypt_with_randomness(&BigUint::zero(), &r)),
+        "rerandomise must equal homomorphic addition of Enc(0)"
+    );
+
+    let start = Instant::now();
+    for _ in 0..num_ops {
+        let _ = pk.encrypt(&mut rng, &m);
+    }
+    let encrypt_ms = millis(start.elapsed());
+
+    let start = Instant::now();
+    for _ in 0..num_ops {
+        let _ = pk.rerandomise(&mut rng, &c);
+    }
+    let rerandomise_ms = millis(start.elapsed());
+
+    // Context construction included: this is the amortised multi-round shape.
+    let start = Instant::now();
+    let ctx = pk.rerand_ctx(&mut rng);
+    for _ in 0..num_ops {
+        let _ = ctx.rerandomise(&mut rng, &c);
+    }
+    let ctx_rerandomise_ms = millis(start.elapsed());
+
+    RerandComparison { modulus_bits, num_ops, encrypt_ms, rerandomise_ms, ctx_rerandomise_ms }
+}
+
+/// Wall-clock of evaluating `num_products` products `Π base_i^exp_i` (k terms each)
+/// unfused (one sliding-window pow per term, multiplied together) vs fused through the
+/// interleaved [`ModulusCtx::multi_exp`] ladder, which shares one squaring chain across
+/// the k terms — the step 2.(b) cell shape for bases too lightly used to earn a
+/// fixed-base table.
+#[derive(Clone, Debug)]
+pub struct MultiExpComparison {
+    /// Modulus bit length.
+    pub modulus_bits: usize,
+    /// Terms per product.
+    pub k: usize,
+    /// Products evaluated per path.
+    pub num_products: usize,
+    /// Unfused pow-then-`mod_mul` chain.
+    pub unfused_ms: f64,
+    /// Interleaved shared-ladder evaluation.
+    pub fused_ms: f64,
+}
+
+impl MultiExpComparison {
+    /// Speedup of the fused ladder over the unfused chain.
+    pub fn fused_speedup(&self) -> f64 {
+        self.unfused_ms / self.fused_ms.max(1e-9)
+    }
+}
+
+/// Runs both evaluation orders over identical `(modulus, pairs)` workloads and asserts
+/// the products agree bit for bit.
+pub fn multi_exp_comparison(
+    modulus_bits: usize,
+    k: usize,
+    num_products: usize,
+    seed: u64,
+) -> MultiExpComparison {
+    assert!(modulus_bits >= 16, "modulus too small to be representative");
+    assert!(k >= 1, "a product needs at least one term");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut modulus = BigUint::random_with_bits(&mut rng, modulus_bits);
+    if modulus.is_even() {
+        modulus = modulus.add(&BigUint::one());
+    }
+    let exp_bits = modulus_bits / 2;
+    let products: Vec<Vec<(BigUint, BigUint)>> = (0..num_products)
+        .map(|_| {
+            (0..k)
+                .map(|_| {
+                    (
+                        BigUint::random_below(&mut rng, &modulus),
+                        BigUint::random_with_bits(&mut rng, exp_bits),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let ctx = ModulusCtx::new(&modulus);
+
+    let start = Instant::now();
+    let unfused: Vec<BigUint> = products
+        .iter()
+        .map(|pairs| {
+            let mut acc = BigUint::one().rem(&modulus);
+            for (base, exp) in pairs {
+                acc = mod_mul(&acc, &ctx.pow(base, exp), &modulus);
+            }
+            acc
+        })
+        .collect();
+    let unfused_ms = millis(start.elapsed());
+
+    let start = Instant::now();
+    let fused: Vec<BigUint> = products.iter().map(|pairs| ctx.multi_exp(pairs)).collect();
+    let fused_ms = millis(start.elapsed());
+
+    assert_eq!(unfused, fused, "fused multi_exp diverged from the unfused chain");
+    MultiExpComparison { modulus_bits, k, num_products, unfused_ms, fused_ms }
+}
+
+/// Writes the comparisons as the `modpow` section of `BENCH_protocol.json` and returns
+/// the report path. Single-core by construction (every batch runs on the calling
+/// thread).
+pub fn write_modpow_section(
+    cmp: &ModpowComparison,
+    rerand: &RerandComparison,
+    fused: &MultiExpComparison,
+) -> std::io::Result<PathBuf> {
     let mut section = BenchSection::new("modpow", 1, cmp.modulus_bits);
     let label_suffix =
         format!("bits={} exp_bits={} exps={}", cmp.modulus_bits, cmp.exp_bits, cmp.num_exps);
@@ -104,6 +271,29 @@ pub fn write_modpow_section(cmp: &ModpowComparison) -> std::io::Result<PathBuf> 
     fixed.phase("total", cmp.fixed_base_ms);
     fixed.speedup_vs_sequential = Some(cmp.fixed_base_speedup());
     section.entries.push(fixed);
+
+    let rerand_suffix = format!("bits={} ops={}", rerand.modulus_bits, rerand.num_ops);
+    let mut encrypt = BenchEntry::new(format!("encrypt {rerand_suffix}"));
+    encrypt.phase("total", rerand.encrypt_ms);
+    section.entries.push(encrypt);
+    let mut oneshot = BenchEntry::new(format!("rerandomise {rerand_suffix}"));
+    oneshot.phase("total", rerand.rerandomise_ms);
+    oneshot.speedup_vs_sequential = Some(rerand.encrypt_ms / rerand.rerandomise_ms.max(1e-9));
+    section.entries.push(oneshot);
+    let mut ctx_rerand = BenchEntry::new(format!("rerandomise_ctx {rerand_suffix}"));
+    ctx_rerand.phase("total", rerand.ctx_rerandomise_ms);
+    ctx_rerand.speedup_vs_sequential = Some(rerand.ctx_speedup());
+    section.entries.push(ctx_rerand);
+
+    let fused_suffix =
+        format!("bits={} k={} products={}", fused.modulus_bits, fused.k, fused.num_products);
+    let mut unfused_entry = BenchEntry::new(format!("multi_exp_unfused {fused_suffix}"));
+    unfused_entry.phase("total", fused.unfused_ms);
+    section.entries.push(unfused_entry);
+    let mut fused_entry = BenchEntry::new(format!("multi_exp_fused {fused_suffix}"));
+    fused_entry.phase("total", fused.fused_ms);
+    fused_entry.speedup_vs_sequential = Some(fused.fused_speedup());
+    section.entries.push(fused_entry);
     section.write()
 }
 
@@ -119,5 +309,26 @@ mod tests {
         assert_eq!(cmp.exp_bits, 128);
         assert_eq!(cmp.num_exps, 4);
         assert!(cmp.generic_ms >= 0.0 && cmp.montgomery_ms >= 0.0 && cmp.fixed_base_ms >= 0.0);
+    }
+
+    #[test]
+    fn rerand_comparison_runs_and_pins_equivalence() {
+        // The Enc(0)-addition equivalence assert lives inside rerand_comparison.
+        let cmp = rerand_comparison(256, 3, 11);
+        assert_eq!(cmp.modulus_bits, 256);
+        assert_eq!(cmp.num_ops, 3);
+        assert!(cmp.encrypt_ms >= 0.0 && cmp.rerandomise_ms >= 0.0);
+        assert!(cmp.ctx_rerandomise_ms >= 0.0);
+    }
+
+    #[test]
+    fn multi_exp_comparison_runs_and_agrees() {
+        // Bitwise agreement of fused vs unfused lives inside multi_exp_comparison;
+        // k = 1 degenerates to a plain pow and must also agree.
+        for k in [1usize, 4] {
+            let cmp = multi_exp_comparison(256, k, 3, 13);
+            assert_eq!(cmp.k, k);
+            assert!(cmp.unfused_ms >= 0.0 && cmp.fused_ms >= 0.0);
+        }
     }
 }

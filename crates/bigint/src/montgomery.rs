@@ -368,6 +368,74 @@ impl ModulusCtx {
     pub fn mod_pow_batch(&self, pairs: &[(BigUint, BigUint)]) -> Vec<BigUint> {
         pairs.iter().map(|(base, exp)| self.pow(base, exp)).collect()
     }
+
+    /// Interleaved (Shamir-trick) multi-exponentiation: `∏ baseᵢ^expᵢ mod n` with one
+    /// shared squaring ladder instead of one per base.
+    ///
+    /// A separate `pow` per base followed by a `mont_mul` chain pays
+    /// `k·⌈bits/w⌉` squarings for `k` pairs; here each fixed-width digit position costs
+    /// `w` squarings *total* plus at most one multiplication per base with a non-zero
+    /// digit — the squaring ladder is shared across all `k` bases. This is the shape of
+    /// Protocol 1 step 2.(b)'s per-cell `scalar_mul`-then-`add` chain.
+    ///
+    /// Montgomery arithmetic is exact, so the result is bitwise-identical to the unfused
+    /// `pow` + `mod_mul` product for every input. Pairs with a zero exponent contribute
+    /// the neutral element and are skipped; an empty slice yields `1`.
+    pub fn multi_exp(&self, pairs: &[(BigUint, BigUint)]) -> BigUint {
+        uldp_telemetry::metrics::MULTI_EXP.inc();
+        let live: Vec<(MontElem, &BigUint)> = pairs
+            .iter()
+            .filter(|(_, exp)| !exp.is_zero())
+            .map(|(base, exp)| (self.to_mont(base), exp))
+            .collect();
+        let max_bits = live.iter().map(|(_, exp)| exp.bit_length()).max().unwrap_or(0);
+        if max_bits == 0 {
+            return BigUint::one();
+        }
+        let w = multi_exp_window(max_bits);
+        // Per-base table of base^1 … base^(2^w − 1): full (not odd-only) powers, so a
+        // digit is a single table lookup inside the shared ladder.
+        let tables: Vec<Vec<MontElem>> = live
+            .iter()
+            .map(|(base, _)| {
+                let mut row = Vec::with_capacity((1 << w) - 1);
+                row.push(base.clone());
+                for j in 1..((1usize << w) - 1) {
+                    let next = self.mont_mul(&row[j - 1], base);
+                    row.push(next);
+                }
+                row
+            })
+            .collect();
+        let mut acc = self.one();
+        let mut started = false;
+        for d in (0..max_bits.div_ceil(w)).rev() {
+            if started {
+                for _ in 0..w {
+                    acc = self.mont_sqr(&acc);
+                }
+            }
+            for (k, (_, exp)) in live.iter().enumerate() {
+                let mut digit = 0usize;
+                for b in 0..w {
+                    let bit = d * w + b;
+                    if bit < max_bits && exp.bit(bit) {
+                        digit |= 1 << b;
+                    }
+                }
+                if digit != 0 {
+                    acc = self.mont_mul(&acc, &tables[k][digit - 1]);
+                    started = true;
+                }
+            }
+        }
+        self.from_mont(&acc)
+    }
+
+    /// [`ModulusCtx::multi_exp`] for many independent products over one shared context.
+    pub fn multi_exp_batch<P: AsRef<[(BigUint, BigUint)]>>(&self, groups: &[P]) -> Vec<BigUint> {
+        groups.iter().map(|pairs| self.multi_exp(pairs.as_ref())).collect()
+    }
 }
 
 /// Precomputed radix-2ʷ table for one base: many exponents, no squarings.
@@ -418,7 +486,22 @@ impl FixedBaseCtx {
     /// bits (larger exponents fall back to the sliding-window path).
     pub fn new(ctx: std::sync::Arc<ModulusCtx>, base: &BigUint, max_bits: usize) -> FixedBaseCtx {
         let max_bits = max_bits.max(1);
-        let window = fixed_base_window(max_bits);
+        Self::with_window(ctx, base, max_bits, fixed_base_window(max_bits))
+    }
+
+    /// Builds the table with an explicit digit width instead of the
+    /// [`fixed_base_window`] default. Wider digits cost exponentially more table
+    /// construction but fewer multiplications per exponentiation — worthwhile for
+    /// tables reused far beyond their build cost (e.g. one per federation rather than
+    /// one per user). Results are bitwise-identical at any width.
+    pub fn with_window(
+        ctx: std::sync::Arc<ModulusCtx>,
+        base: &BigUint,
+        max_bits: usize,
+        window: usize,
+    ) -> FixedBaseCtx {
+        let max_bits = max_bits.max(1);
+        assert!((1..=16).contains(&window), "fixed-base window must be in 1..=16");
         let windows = max_bits.div_ceil(window);
         let base_m = ctx.to_mont(base);
         let mut table = Vec::with_capacity(windows);
@@ -485,6 +568,18 @@ fn window_size(bits: usize) -> usize {
         80..=239 => 4,
         240..=671 => 5,
         _ => 6,
+    }
+}
+
+/// Digit width of the interleaved multi-exponentiation ladder. The per-base table has
+/// `2^w − 1` entries and every base pays its construction, so the crossover sits lower
+/// than the single-base sliding window's.
+fn multi_exp_window(max_bits: usize) -> usize {
+    match max_bits {
+        0..=32 => 2,
+        33..=256 => 3,
+        257..=768 => 4,
+        _ => 5,
     }
 }
 
@@ -667,6 +762,50 @@ mod tests {
     }
 
     #[test]
+    fn multi_exp_matches_unfused_chain() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for bits in [64usize, 192, 512] {
+            let mut modulus = BigUint::random_with_bits(&mut rng, bits);
+            if modulus.is_even() {
+                modulus = modulus.add(&BigUint::one());
+            }
+            let ctx = ModulusCtx::new(&modulus);
+            for k in [1usize, 2, 3, 7] {
+                let pairs: Vec<(BigUint, BigUint)> = (0..k)
+                    .map(|_| {
+                        (
+                            BigUint::random_below(&mut rng, &modulus),
+                            BigUint::random_with_bits(&mut rng, bits / 2),
+                        )
+                    })
+                    .collect();
+                let mut expected = BigUint::one();
+                for (base, exp) in &pairs {
+                    expected =
+                        crate::modular::mod_mul(&expected, &mod_pow(base, exp, &modulus), &modulus);
+                }
+                assert_eq!(ctx.multi_exp(&pairs), expected, "bits={bits} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_exp_edge_cases() {
+        let ctx = ModulusCtx::new(&n(1_000_003));
+        // Empty product and all-zero exponents are the neutral element.
+        assert_eq!(ctx.multi_exp(&[]), BigUint::one());
+        assert_eq!(ctx.multi_exp(&[(n(7), BigUint::zero())]), BigUint::one());
+        // Zero-exponent pairs drop out of a mixed product.
+        assert_eq!(ctx.multi_exp(&[(n(7), n(2)), (n(12345), BigUint::zero())]), n(49));
+        // Zero base annihilates, bases ≥ n are reduced.
+        assert_eq!(ctx.multi_exp(&[(BigUint::zero(), n(3)), (n(7), n(2))]), BigUint::zero());
+        assert_eq!(ctx.multi_exp(&[(n(1_000_004), n(2))]), BigUint::one());
+        // Batch wrapper is pointwise.
+        let groups = vec![vec![(n(2), n(10))], vec![(n(3), n(4)), (n(5), n(3))]];
+        assert_eq!(ctx.multi_exp_batch(&groups), vec![n(1024), n(81 * 125)]);
+    }
+
+    #[test]
     fn fixed_base_matches_schoolbook() {
         let mut rng = StdRng::seed_from_u64(4);
         for bits in [64usize, 256, 768] {
@@ -685,6 +824,12 @@ mod tests {
             assert_eq!(fixed.pow(&BigUint::zero()), BigUint::one());
             let big_exp = BigUint::random_with_bits(&mut rng, bits + 64);
             assert_eq!(fixed.pow(&big_exp), mod_pow(&base, &big_exp, &modulus));
+            // explicit window widths are bitwise-identical to the default pick
+            for window in [1usize, 2, 7] {
+                let wide = FixedBaseCtx::with_window(Arc::clone(&ctx), &base, bits, window);
+                let exp = BigUint::random_with_bits(&mut rng, bits);
+                assert_eq!(wide.pow(&exp), fixed.pow(&exp), "bits={bits} window={window}");
+            }
         }
     }
 

@@ -74,6 +74,30 @@ proptest! {
     }
 
     #[test]
+    fn multi_exp_matches_unfused_chain(
+        mod_limbs in prop::collection::vec(any::<u64>(), 1..32),
+        pair_limbs in prop::collection::vec(
+            (prop::collection::vec(any::<u64>(), 1..33), prop::collection::vec(any::<u64>(), 0..16)),
+            1..6,
+        ),
+    ) {
+        // The interleaved ladder must agree bit for bit with the unfused
+        // pow-then-mod_mul product at every k ≥ 1 (k = 1 degenerates to a plain pow;
+        // empty exponent limb vectors exercise the exp = 0 edge) up to 2048-bit moduli.
+        let n = odd_modulus(&mod_limbs);
+        let ctx = ModulusCtx::new(&n);
+        let pairs: Vec<(BigUint, BigUint)> = pair_limbs
+            .iter()
+            .map(|(b, e)| (BigUint::from_limbs(b.clone()), BigUint::from_limbs(e.clone())))
+            .collect();
+        let mut unfused = BigUint::one().rem(&n);
+        for (base, exp) in &pairs {
+            unfused = uldp_bigint::modular::mod_mul(&unfused, &mod_pow(base, exp, &n), &n);
+        }
+        prop_assert_eq!(ctx.multi_exp(&pairs), unfused);
+    }
+
+    #[test]
     fn mont_sqr_is_pinned_to_mont_mul_of_self(
         mod_limbs in prop::collection::vec(any::<u64>(), 1..32),
         value_limbs in prop::collection::vec(any::<u64>(), 1..33),

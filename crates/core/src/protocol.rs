@@ -47,20 +47,38 @@
 //! CRT over cached `p²`/`q²` contexts. `ULDP_GENERIC_MODPOW=1` forces the schoolbook
 //! square-and-multiply path instead; both paths produce bit-identical ciphertexts and
 //! aggregates (CI diffs them).
+//!
+//! ## Multi-round ciphertext reuse
+//!
+//! Across rounds the server's step 2.(a) plaintexts — the blinded inverses — do not
+//! change unless the sampling mask does, so a per-federation `RoundCryptoCache` holds
+//! the encrypted inverses: round 1 encrypts and populates it; later rounds under an
+//! unchanged mask *re-randomise* the cached ciphertexts (`c · h^t` for a fresh `t`, one
+//! squaring-free fixed-base lookup per user) instead of paying a full Paillier
+//! encryption each. Mask flips, silo dropouts and `ULDP_FRESH_ENCRYPT=1` (or
+//! [`ProtocolConfig::fresh_encrypt`]) invalidate exactly the affected users' entries.
+//! Step 2.(b)'s fixed-base tables anchor to the round-1 base ciphertexts
+//! (`current^k = base_table[k] · h_table[rand_exp · k]`), so they too are reused across
+//! rounds; bases too lightly used for a table fuse their cell terms into one
+//! interleaved multi-exponentiation (`ModulusCtx::multi_exp`). Every step is exact
+//! group arithmetic, so decrypted aggregates stay bitwise-identical to the
+//! fresh-encryption path at every `(threads, shards, chunk)` point — CI diffs a cached
+//! against a `ULDP_FRESH_ENCRYPT=1` smoke run to pin this.
 
 use crate::config::WeightingStrategy;
 use crate::scenario::FaultPlan;
 use crate::weighting::WeightMatrix;
-use rand::Rng;
-use std::sync::Arc;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
-use uldp_bigint::modular::{mod_inv, mod_mul};
-use uldp_bigint::montgomery::FixedBaseCtx;
+use uldp_bigint::modular::{mod_inv, mod_mul, mod_pow};
+use uldp_bigint::montgomery::{engine_disabled, FixedBaseCtx};
 use uldp_bigint::BigUint;
 use uldp_crypto::dh::{DhGroup, DhKeyPair};
 use uldp_crypto::masking::MaskSeed;
 use uldp_crypto::oblivious_transfer::OneOutOfP;
-use uldp_crypto::paillier::{Ciphertext, PaillierKeyPair, PaillierPublicKey, ScalarMulCtx};
+use uldp_crypto::paillier::{Ciphertext, PaillierKeyPair, PaillierPublicKey, RerandCtx};
 use uldp_crypto::{FixedPointCodec, MultiplicativeBlinder};
 use uldp_runtime::{seeding, Runtime};
 use uldp_telemetry::{metrics, trace};
@@ -95,6 +113,11 @@ pub struct ProtocolConfig {
     /// [`PrivateWeightingProtocol::weighting_round_faulted`]; the plain round entry
     /// points ignore it. The default plan injects nothing.
     pub fault_plan: FaultPlan,
+    /// Bypass the cross-round ciphertext cache: every round freshly encrypts all
+    /// blinded inverses (the pre-cache behaviour). `ULDP_FRESH_ENCRYPT=1` forces the
+    /// same bypass process-wide; decrypted aggregates are bitwise-identical either way
+    /// (CI diffs them), only the per-round `server_encryption` cost changes.
+    pub fresh_encrypt: bool,
 }
 
 /// Default cells-per-chunk of the protocol's streaming fold when neither
@@ -102,6 +125,107 @@ pub struct ProtocolConfig {
 /// one Paillier exponentiation per participating user, so fine chunks cost little and
 /// keep the pool balanced even for small `silos × dim` grids.
 const DEFAULT_PROTOCOL_CHUNK: usize = 4;
+
+/// Returns `true` when `ULDP_FRESH_ENCRYPT` forces every round to freshly encrypt the
+/// blinded inverses instead of re-randomising cached ciphertexts. Read once per process;
+/// accepts `1` / `true`.
+pub fn fresh_encrypt_forced() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("ULDP_FRESH_ENCRYPT")
+            .map(|v| matches!(v.trim(), "1" | "true" | "TRUE"))
+            .unwrap_or(false)
+    })
+}
+
+/// Reserved derivation index for the re-randomisation context's secret unit `ρ`. The
+/// per-user encryption streams use indices `0..num_users`, so the reserved slot can
+/// never collide with them — and because `ρ` is derived from the round's batch seed,
+/// building the context consumes **no** extra draws from the caller's RNG: the cached
+/// and `ULDP_FRESH_ENCRYPT=1` executions stay stream-aligned round for round.
+const RERAND_SEED_INDEX: u64 = u64::MAX;
+
+/// Mirror of the crypto crate's fixed-base threshold (`FIXED_BASE_MIN_MULS`): below this
+/// many expected exponentiations of one base a table never amortises, and the cell
+/// terms are gathered into one interleaved multi-exponentiation instead.
+const FIXED_BASE_TABLE_MIN_MULS: usize = 8;
+
+/// Headroom (bits) the accumulated re-randomisation exponent may grow beyond the
+/// plaintext-modulus width before the cache re-bases the entry with a fresh encryption.
+/// Exponents compose additively across rounds (≈1 extra bit per doubling of the round
+/// count), so the guard is unreachable in practice; it exists to keep the shifted-table
+/// exponent `rand_exp · scalar` inside the `2·|n| + 64` bits the [`RerandCtx`] table
+/// covers.
+const RERAND_EXP_HEADROOM_BITS: usize = 64;
+
+/// One user's cached encrypted inverse. `base` is the ciphertext the fixed-base table
+/// (if any) is anchored to; `current = base · h^rand_exp mod n²` is what the silos
+/// actually received in the most recent round. Keeping the pair lets step 2.(b) reuse
+/// the round-1 table forever: `current^k = base_table[k] · h_table[rand_exp · k]` —
+/// exact group arithmetic, bitwise-identical to a direct table over `current`.
+struct CacheEntry {
+    /// The sampling decision the entry was encrypted under; a flip invalidates it (the
+    /// plaintext changes between the blinded inverse and zero).
+    keep: bool,
+    /// Ciphertext the fixed-base table is anchored to.
+    base: Ciphertext,
+    /// Most recently distributed re-randomisation of `base`.
+    current: Ciphertext,
+    /// Accumulated re-randomisation exponent: `current = base · h^rand_exp`.
+    rand_exp: BigUint,
+    /// Fixed-base table over `base`, built lazily by step 2.(b) and reused until the
+    /// entry is invalidated.
+    table: Option<Arc<FixedBaseCtx>>,
+}
+
+/// Per-federation cross-round ciphertext cache: round 1 encrypts every blinded inverse
+/// and populates the entries; later rounds with an unchanged sampling mask re-randomise
+/// the cached ciphertexts in one pooled batch (`c · h^t`, one squaring-free fixed-base
+/// `pow` per user) instead of paying a full Paillier encryption each. Mask changes,
+/// silo dropouts and [`ProtocolConfig::fresh_encrypt`] / `ULDP_FRESH_ENCRYPT=1`
+/// invalidate only the affected users' entries, so multi-round cost is
+/// `encrypt + (R − 1) · rerandomise` while the decrypted aggregates stay
+/// bitwise-identical to the fresh-encryption path.
+struct RoundCryptoCache {
+    /// Shared re-randomisation context (`h = ρ^n mod n²` plus its wide fixed-base
+    /// table), derived once per federation from the first round's reserved seed slot.
+    rerand: Option<Arc<RerandCtx>>,
+    /// Per-user entries; `None` until first encrypted or after invalidation.
+    entries: Vec<Option<CacheEntry>>,
+    /// Users freshly encrypted by the most recent round's step 2.(a).
+    last_fresh: usize,
+    /// Users re-randomised from cache by the most recent round's step 2.(a).
+    last_rerandomised: usize,
+}
+
+/// Read-only snapshot of one user's cache entry, taken during step 2.(a) so the
+/// streaming fold of step 2.(b) never touches the cache mutex.
+struct CachedUserState {
+    base: Ciphertext,
+    table: Option<Arc<FixedBaseCtx>>,
+    rand_exp: BigUint,
+}
+
+/// Snapshot of the whole cache for one round (only present on the cached path).
+struct CachedRoundState {
+    users: Vec<CachedUserState>,
+    rerand: Arc<RerandCtx>,
+}
+
+/// How step 2.(b) evaluates `inverse^scalar` for one participating user this round.
+enum InverseEval {
+    /// Schoolbook square-and-multiply (the `ULDP_GENERIC_MODPOW=1` path).
+    Generic { base: BigUint },
+    /// Too few uses for a table: the cell's terms are gathered and fused into one
+    /// interleaved (Shamir-trick) multi-exponentiation over the cached `n²` context —
+    /// the shared squaring ladder replaces one ladder per term.
+    Fused { base: BigUint },
+    /// Fixed-base table directly over the distributed ciphertext.
+    Table(Arc<FixedBaseCtx>),
+    /// Cached entry whose table is anchored to the round-1 `base`:
+    /// `current^k = base_table[k] · h_table[rand_exp · k]`.
+    Shifted { base_table: Arc<FixedBaseCtx>, rand_exp: BigUint, rerand: Arc<RerandCtx> },
+}
 
 impl Default for ProtocolConfig {
     fn default() -> Self {
@@ -114,6 +238,7 @@ impl Default for ProtocolConfig {
             threads: 0,
             chunk_size: 0,
             fault_plan: FaultPlan::none(),
+            fresh_encrypt: false,
         }
     }
 }
@@ -133,6 +258,7 @@ impl ProtocolConfig {
             threads: 0,
             chunk_size: 0,
             fault_plan: FaultPlan::none(),
+            fresh_encrypt: false,
         }
     }
 }
@@ -216,9 +342,12 @@ impl ObliviousSubsampling {
     ) -> OneOutOfP<Ciphertext> {
         let mut items = Vec::with_capacity(self.denominator as usize);
         for _ in 0..self.numerator {
-            // Re-randomise by homomorphically adding an encryption of zero.
-            let rerandomised = public_key.add(real, &public_key.encrypt(rng, &BigUint::zero()));
-            items.push(rerandomised);
+            // Homomorphic re-randomisation: multiplying by a fresh `r^n` is *exactly*
+            // the historical `add(real, encrypt(rng, 0))` — `Enc(0; r) = (1 + 0·n)·r^n
+            // = r^n` — with the same single `sample_unit` draw from `rng`, so the
+            // offer's ciphertext bits are unchanged; it just skips the redundant
+            // `(1 + m·n)` blinding step and one multiplication.
+            items.push(public_key.rerandomise(rng, real));
         }
         for _ in self.numerator..self.denominator {
             items.push(public_key.encrypt(rng, &BigUint::zero()));
@@ -253,6 +382,11 @@ pub struct PrivateWeightingProtocol {
     chunk_size: usize,
     /// Fault plan for [`PrivateWeightingProtocol::weighting_round_faulted`].
     fault_plan: FaultPlan,
+    /// Cross-round ciphertext cache for step 2.(a) (see [`RoundCryptoCache`]).
+    cache: Mutex<RoundCryptoCache>,
+    /// Bypass the cache ([`ProtocolConfig::fresh_encrypt`] or `ULDP_FRESH_ENCRYPT=1`):
+    /// every round freshly encrypts all blinded inverses.
+    fresh_encrypt: bool,
 }
 
 impl PrivateWeightingProtocol {
@@ -368,6 +502,13 @@ impl PrivateWeightingProtocol {
             runtime,
             chunk_size: uldp_runtime::resolve_chunk_size(config.chunk_size, DEFAULT_PROTOCOL_CHUNK),
             fault_plan: config.fault_plan,
+            cache: Mutex::new(RoundCryptoCache {
+                rerand: None,
+                entries: (0..num_users).map(|_| None).collect(),
+                last_fresh: 0,
+                last_rerandomised: 0,
+            }),
+            fresh_encrypt: config.fresh_encrypt || fresh_encrypt_forced(),
         }
     }
 
@@ -419,6 +560,144 @@ impl PrivateWeightingProtocol {
         WeightMatrix::from_histogram(WeightingStrategy::RecordProportional, &histogram)
     }
 
+    /// `(fresh, rerandomised)` user counts of the most recent round's step 2.(a): how
+    /// many encrypted inverses were freshly Paillier-encrypted vs re-randomised from
+    /// the cross-round cache. Bypass mode always reports `(num_users, 0)`.
+    pub fn round_cache_stats(&self) -> (usize, usize) {
+        let cache = self.cache.lock().expect("cache mutex poisoned");
+        (cache.last_fresh, cache.last_rerandomised)
+    }
+
+    /// Drops every cached ciphertext (and the re-randomisation context), so the next
+    /// round freshly encrypts all inverses — used by benchmarks that run several rounds
+    /// of the same setup and need each to pay the full encryption cost.
+    pub fn reset_round_cache(&self) {
+        let mut cache = self.cache.lock().expect("cache mutex poisoned");
+        cache.rerand = None;
+        for entry in cache.entries.iter_mut() {
+            *entry = None;
+        }
+    }
+
+    /// Step 2.(a): produces the per-user encrypted blinded inverses for one round —
+    /// either freshly encrypting everything (bypass mode, first round, invalidated
+    /// entries) or re-randomising cached ciphertexts in one pooled batch.
+    ///
+    /// Exactly one 256-bit batch seed is drawn from the caller's RNG whichever path
+    /// runs, so the cached and fresh-encryption executions consume identical randomness
+    /// streams and CI can diff their aggregates process against process. Per-user work
+    /// is seeded from `(seed, u)`, so the output is bitwise-identical at any thread
+    /// count.
+    fn distribute_inverses<R: Rng + ?Sized>(
+        &self,
+        sampled: Option<&[bool]>,
+        rng: &mut R,
+    ) -> (Vec<Ciphertext>, Option<CachedRoundState>) {
+        let batch_seed = seeding::wide_seed_from_rng(rng);
+        let keeps: Vec<bool> = (0..self.num_users)
+            .map(|u| sampled.is_none_or(|s| s[u]) && self.blinded_inverses[u].is_some())
+            .collect();
+        let plaintext = |u: usize| -> BigUint {
+            if keeps[u] {
+                self.blinded_inverses[u].clone().expect("keep implies a blinded inverse")
+            } else {
+                BigUint::zero()
+            }
+        };
+        if self.fresh_encrypt {
+            let plaintexts: Vec<BigUint> = (0..self.num_users).map(plaintext).collect();
+            let cts = self.paillier.public.encrypt_batch(&self.runtime, batch_seed, &plaintexts);
+            let mut cache = self.cache.lock().expect("cache mutex poisoned");
+            cache.last_fresh = self.num_users;
+            cache.last_rerandomised = 0;
+            return (cts, None);
+        }
+        let mut cache = self.cache.lock().expect("cache mutex poisoned");
+        if cache.rerand.is_none() {
+            // The context's secret unit ρ comes from the reserved slot of THIS round's
+            // batch seed: no extra caller draws, no collision with the user streams.
+            let mut ctx_rng =
+                StdRng::from_seed(seeding::index_seed_wide(batch_seed, RERAND_SEED_INDEX));
+            cache.rerand = Some(Arc::new(self.paillier.public.rerand_ctx(&mut ctx_rng)));
+        }
+        let rerand = Arc::clone(cache.rerand.as_ref().expect("context just initialised"));
+        let headroom_bits = self.paillier.public.n.bit_length() + RERAND_EXP_HEADROOM_BITS;
+        let fresh: Vec<bool> = (0..self.num_users)
+            .map(|u| match &cache.entries[u] {
+                Some(e) => e.keep != keeps[u] || e.rand_exp.bit_length() >= headroom_bits,
+                None => true,
+            })
+            .collect();
+        // One pooled pass over the users: fresh entries pay a full Paillier encryption,
+        // cached ones one squaring-free `c · h^t`. The workers only read the entries
+        // through the guard held by this thread.
+        let entries = &cache.entries;
+        let results: Vec<(Ciphertext, Option<BigUint>)> =
+            self.runtime.par_map_wide_seeded(self.num_users, batch_seed, |u, rng| {
+                if fresh[u] {
+                    (self.paillier.public.encrypt(rng, &plaintext(u)), None)
+                } else {
+                    let entry = entries[u].as_ref().expect("non-fresh user has an entry");
+                    let (ct, t) = rerand.rerandomise(rng, &entry.current);
+                    (ct, Some(t))
+                }
+            });
+        let mut fresh_count = 0usize;
+        let mut rerand_count = 0usize;
+        for (u, (ct, t)) in results.iter().enumerate() {
+            match t {
+                None => {
+                    fresh_count += 1;
+                    cache.entries[u] = Some(CacheEntry {
+                        keep: keeps[u],
+                        base: ct.clone(),
+                        current: ct.clone(),
+                        rand_exp: BigUint::zero(),
+                        table: None,
+                    });
+                }
+                Some(t) => {
+                    rerand_count += 1;
+                    let entry = cache.entries[u].as_mut().expect("non-fresh user has an entry");
+                    entry.current = ct.clone();
+                    entry.rand_exp = entry.rand_exp.add(t);
+                }
+            }
+        }
+        cache.last_fresh = fresh_count;
+        cache.last_rerandomised = rerand_count;
+        let users: Vec<CachedUserState> = cache
+            .entries
+            .iter()
+            .map(|entry| {
+                let e = entry.as_ref().expect("every user has an entry after this round");
+                CachedUserState {
+                    base: e.base.clone(),
+                    table: e.table.clone(),
+                    rand_exp: e.rand_exp.clone(),
+                }
+            })
+            .collect();
+        drop(cache);
+        let cts: Vec<Ciphertext> = results.into_iter().map(|(ct, _)| ct).collect();
+        (cts, Some(CachedRoundState { users, rerand }))
+    }
+
+    /// Post-round cache invalidation after silo dropouts: any user with records in a
+    /// dropped silo gets freshly re-encrypted next round. (The server only learns of a
+    /// dropout when the round's reports are collected, so the invalidation necessarily
+    /// lands after the fact; users untouched by the dropped silos keep their entries.)
+    fn invalidate_users_of_dropped(&self, dropped: &[bool]) {
+        let mut cache = self.cache.lock().expect("cache mutex poisoned");
+        for u in 0..self.num_users {
+            let affected =
+                dropped.iter().enumerate().any(|(s, &d)| d && self.silo_histograms[s][u] > 0);
+            if affected {
+                cache.entries[u] = None;
+            }
+        }
+    }
+
     /// Runs one weighting round (Protocol 1, step 2).
     ///
     /// * `clipped_deltas[s][u]` — silo `s`'s clipped model delta for user `u`
@@ -441,24 +720,13 @@ impl PrivateWeightingProtocol {
         let dim = noises[0].len();
         assert!(dim > 0, "model dimension must be positive");
 
-        // --- Step 2.(a): server encrypts (possibly sub-sampled) blinded inverses. ---
-        // One 256-bit seed drawn from the caller's RNG parameterises the whole batch;
-        // per-user encryption randomness is derived from (seed, u), so the ciphertexts
-        // are bitwise-identical at any thread count without capping the entropy of the
-        // encryption randomizers.
+        // --- Step 2.(a): server encrypts (possibly sub-sampled) blinded inverses, or —
+        // when the cross-round cache holds them under an unchanged mask — re-randomises
+        // the cached ciphertexts in one pooled batch. One 256-bit seed drawn from the
+        // caller's RNG parameterises the whole batch; per-user randomness is derived
+        // from (seed, u), so the output is bitwise-identical at any thread count.
         let enc_span = trace::timed_span("protocol", "server_encryption");
-        let batch_seed = seeding::wide_seed_from_rng(rng);
-        let plaintexts: Vec<BigUint> = (0..self.num_users)
-            .map(|u| {
-                let keep = sampled.is_none_or(|s| s[u]);
-                match (&self.blinded_inverses[u], keep) {
-                    (Some(inv), true) => inv.clone(),
-                    _ => BigUint::zero(),
-                }
-            })
-            .collect();
-        let encrypted_inverses =
-            self.paillier.public.encrypt_batch(&self.runtime, batch_seed, &plaintexts);
+        let (encrypted_inverses, cached) = self.distribute_inverses(sampled, rng);
         let server_encryption = enc_span.finish();
 
         // --- Steps 2.(b)-(c): silo-side encrypted weighting, secure aggregation of
@@ -471,6 +739,7 @@ impl PrivateWeightingProtocol {
             &encrypted_inverses,
             dim,
             None,
+            cached.as_ref(),
         );
         timings.server_encryption = server_encryption;
         (out, timings)
@@ -508,20 +777,10 @@ impl PrivateWeightingProtocol {
         let dim = noises[0].len();
         assert!(dim > 0, "model dimension must be positive");
 
-        // Step 2.(a) is unchanged: the server encrypts before any silo drops.
+        // Step 2.(a) is unchanged: the server encrypts (or re-randomises from cache)
+        // before any silo drops.
         let enc_span = trace::timed_span("protocol", "server_encryption");
-        let batch_seed = seeding::wide_seed_from_rng(rng);
-        let plaintexts: Vec<BigUint> = (0..self.num_users)
-            .map(|u| {
-                let keep = sampled.is_none_or(|s| s[u]);
-                match (&self.blinded_inverses[u], keep) {
-                    (Some(inv), true) => inv.clone(),
-                    _ => BigUint::zero(),
-                }
-            })
-            .collect();
-        let encrypted_inverses =
-            self.paillier.public.encrypt_batch(&self.runtime, batch_seed, &plaintexts);
+        let (encrypted_inverses, cached) = self.distribute_inverses(sampled, rng);
         let server_encryption = enc_span.finish();
 
         let dropped = self.fault_plan.dropped_silos(round, self.num_silos);
@@ -556,6 +815,7 @@ impl PrivateWeightingProtocol {
             &encrypted_inverses,
             dim,
             Some(&dropped),
+            cached.as_ref(),
         );
         timings.server_encryption = server_encryption;
 
@@ -573,6 +833,9 @@ impl PrivateWeightingProtocol {
         // timings only — no wall-clock sleep, the aggregate is untouched.
         let delayed_count = delayed.iter().filter(|&&d| d).count() as u64;
         timings.silo_weighting += Duration::from_millis(self.fault_plan.delay_ms * delayed_count);
+        // A user whose records sit in a dropped silo gets freshly re-encrypted next
+        // round; everyone else keeps their cached ciphertext.
+        self.invalidate_users_of_dropped(&dropped);
         (out, dropped, timings)
     }
 
@@ -628,7 +891,7 @@ impl PrivateWeightingProtocol {
         // Silo side and aggregation are identical to the plain round, using the chosen
         // ciphertexts in place of the server-published inverses.
         let (out, mut timings) =
-            self.weighting_round_with_inverses(clipped_deltas, noises, &chosen, dim, None);
+            self.weighting_round_with_inverses(clipped_deltas, noises, &chosen, dim, None, None);
         timings.server_encryption = server_encryption;
         (out, selected_flags, timings)
     }
@@ -636,7 +899,9 @@ impl PrivateWeightingProtocol {
     /// Shared silo-side + aggregation logic of steps 2.(b)-(c), parameterised by the
     /// per-user encrypted inverses actually distributed to the silos. When `dropped` is
     /// given, the marked silos' cells (deltas and noise) are excluded from the streaming
-    /// fold — their reports never reach the server.
+    /// fold — their reports never reach the server. When `cached` is given (the
+    /// cross-round cache path), per-user fixed-base tables anchor to the round-1 base
+    /// ciphertexts, so they survive re-randomisation and are reused across rounds.
     fn weighting_round_with_inverses(
         &self,
         clipped_deltas: &[Vec<Vec<f64>>],
@@ -644,8 +909,10 @@ impl PrivateWeightingProtocol {
         encrypted_inverses: &[Ciphertext],
         dim: usize,
         dropped: Option<&[bool]>,
+        cached: Option<&CachedRoundState>,
     ) -> (Vec<f64>, RoundTimings) {
         let n = &self.paillier.public.n;
+        let n_squared = &self.paillier.public.n_squared;
         let rt = &*self.runtime;
         let silo_span = trace::timed_span("protocol", "silo_weighting");
         for silo in 0..self.num_silos {
@@ -696,12 +963,67 @@ impl PrivateWeightingProtocol {
         let participating = ctx_uses.iter().filter(|&&uses| uses > 0).count();
         let tables_affordable =
             participating.saturating_mul(table_bytes) <= FIXED_BASE_BUDGET_BYTES;
-        let inverse_ctxs: Vec<Option<ScalarMulCtx>> = rt.par_map_range(self.num_users, |u| {
+        let generic = engine_disabled();
+        let n_bits = n.bit_length();
+        let evals: Vec<Option<InverseEval>> = rt.par_map_range(self.num_users, |u| {
             (ctx_uses[u] > 0).then(|| {
-                let expected_muls = if tables_affordable { ctx_uses[u] } else { 1 };
-                self.paillier.public.scalar_mul_ctx(&encrypted_inverses[u], expected_muls)
+                let ct = &encrypted_inverses[u];
+                if generic {
+                    return InverseEval::Generic { base: ct.0.clone() };
+                }
+                if !tables_affordable || ctx_uses[u] < FIXED_BASE_TABLE_MIN_MULS {
+                    return InverseEval::Fused { base: ct.0.clone() };
+                }
+                match cached {
+                    // Un-cached path (OT rounds, bypass mode): table over the
+                    // distributed ciphertext itself, rebuilt every round.
+                    None => InverseEval::Table(Arc::new(FixedBaseCtx::new(
+                        Arc::clone(self.paillier.public.ctx_n2()),
+                        &ct.0,
+                        n_bits,
+                    ))),
+                    // Cached path: the table anchors to the round-1 base, so a
+                    // re-randomised `current = base · h^rand_exp` evaluates as
+                    // `base_table[k] · h_table[rand_exp · k]` — same group element,
+                    // same bits, no table rebuild.
+                    Some(state) => {
+                        let user = &state.users[u];
+                        let table = user.table.clone().unwrap_or_else(|| {
+                            Arc::new(FixedBaseCtx::new(
+                                Arc::clone(self.paillier.public.ctx_n2()),
+                                &user.base.0,
+                                n_bits,
+                            ))
+                        });
+                        if user.rand_exp.is_zero() {
+                            InverseEval::Table(table)
+                        } else {
+                            InverseEval::Shifted {
+                                base_table: table,
+                                rand_exp: user.rand_exp.clone(),
+                                rerand: Arc::clone(&state.rerand),
+                            }
+                        }
+                    }
+                }
             })
         });
+        // Persist tables built this round so later rounds skip the precomputation.
+        if cached.is_some() {
+            let mut cache = self.cache.lock().expect("cache mutex poisoned");
+            for (u, eval) in evals.iter().enumerate() {
+                let table = match eval {
+                    Some(InverseEval::Table(t)) => t,
+                    Some(InverseEval::Shifted { base_table, .. }) => base_table,
+                    _ => continue,
+                };
+                if let Some(entry) = cache.entries[u].as_mut() {
+                    if entry.table.is_none() {
+                        entry.table = Some(Arc::clone(table));
+                    }
+                }
+            }
+        }
         // Steps 2.(b)+(c) silo side: every (silo, coordinate) cell is independent — the
         // Paillier `scalar_mul` per user inside it is the protocol's dominant cost
         // (Figures 10–11) — and ciphertext addition is exact modular arithmetic, so the
@@ -728,14 +1050,37 @@ impl PrivateWeightingProtocol {
             if dropped.is_some_and(|d| d[silo]) {
                 return acc;
             }
+            // Table-free bases gather their `(base, scalar)` terms here and fuse into
+            // one interleaved multi-exponentiation after the loop; ciphertext addition
+            // is modular multiplication, which commutes, so hoisting these terms out of
+            // the running product leaves the cell total bit-identical.
+            let mut fused: Vec<(BigUint, BigUint)> = Vec::new();
             for (u, delta) in clipped_deltas[silo].iter().enumerate() {
                 if self.silo_histograms[silo][u] == 0 || delta.is_empty() {
                     continue;
                 }
                 let scalar = mod_mul(&self.codec.encode(delta[j]), &prefixes[silo][u], n);
-                let ctx = inverse_ctxs[u].as_ref().expect("context built for participating user");
-                let term = ctx.pow(&scalar);
-                acc = self.paillier.public.add(&acc, &term);
+                let eval = evals[u].as_ref().expect("evaluator built for participating user");
+                let term = match eval {
+                    InverseEval::Generic { base } => mod_pow(base, &scalar, n_squared),
+                    InverseEval::Fused { base } => {
+                        fused.push((base.clone(), scalar));
+                        continue;
+                    }
+                    InverseEval::Table(table) => table.pow(&scalar),
+                    InverseEval::Shifted { base_table, rand_exp, rerand } => mod_mul(
+                        &base_table.pow(&scalar),
+                        &rerand.pow_h(&rand_exp.mul(&scalar)),
+                        n_squared,
+                    ),
+                };
+                metrics::PAILLIER_SCALAR_MUL.inc();
+                acc = self.paillier.public.add(&acc, &Ciphertext(term));
+            }
+            if !fused.is_empty() {
+                metrics::PAILLIER_SCALAR_MUL.add(fused.len() as u64);
+                let product = self.paillier.public.ctx_n2().multi_exp(&fused);
+                acc = self.paillier.public.add(&acc, &Ciphertext(product));
             }
             let noise_scalar = mod_mul(&self.codec.encode(noises[silo][j]), &self.c_lcm, n);
             self.paillier.public.add_plain(&acc, &noise_scalar)
@@ -1156,6 +1501,124 @@ mod tests {
         let sequential = run(1, usize::MAX);
         for (threads, chunk) in [(2, 1), (4, 7), (2, usize::MAX)] {
             assert_eq!(sequential, run(threads, chunk), "threads={threads} chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn cached_rounds_match_fresh_encryption_rounds_bitwise() {
+        // Four rounds of the same setup, identical caller RNG streams: the cached
+        // protocol re-randomises rounds 2..4 while the bypass instance re-encrypts
+        // every round, and the decrypted aggregates must agree bit for bit.
+        if fresh_encrypt_forced() {
+            return; // ULDP_FRESH_ENCRYPT=1 turns the cached run into a second bypass run
+        }
+        let histogram = small_histogram();
+        let run = |fresh_encrypt: bool| {
+            let mut rng = StdRng::seed_from_u64(91);
+            let cfg = ProtocolConfig { fresh_encrypt, ..test_config() };
+            let protocol = PrivateWeightingProtocol::setup(&histogram, &cfg, &mut rng);
+            let mut rounds = Vec::new();
+            let mut stats = Vec::new();
+            for round in 0..4u64 {
+                let (deltas, noises) = deltas_and_noise(&histogram, 4, 92 + round);
+                let (out, _) = protocol.weighting_round(&deltas, &noises, None, &mut rng);
+                rounds.push(out.iter().map(|v| v.to_bits()).collect::<Vec<u64>>());
+                stats.push(protocol.round_cache_stats());
+            }
+            (rounds, stats)
+        };
+        let (cached_rounds, cached_stats) = run(false);
+        let (fresh_rounds, fresh_stats) = run(true);
+        assert_eq!(cached_rounds, fresh_rounds, "aggregates must not depend on the cache");
+        // Cached: round 1 encrypts all 4 users, rounds 2..4 re-randomise all 4.
+        assert_eq!(cached_stats, vec![(4, 0), (0, 4), (0, 4), (0, 4)]);
+        // Bypass: every round encrypts everything.
+        assert_eq!(fresh_stats, vec![(4, 0); 4]);
+        // Every cached round still matches its plaintext reference.
+        let mut check_rng = StdRng::seed_from_u64(91);
+        let cfg = ProtocolConfig { ..test_config() };
+        let protocol = PrivateWeightingProtocol::setup(&histogram, &cfg, &mut check_rng);
+        for round in 0..4u64 {
+            let (deltas, noises) = deltas_and_noise(&histogram, 4, 92 + round);
+            let (out, _) = protocol.weighting_round(&deltas, &noises, None, &mut check_rng);
+            let reference = protocol.plaintext_reference(&deltas, &noises, None);
+            for (a, b) in out.iter().zip(reference.iter()) {
+                assert!((a - b).abs() < 1e-6, "round {round}: secure {a} vs plaintext {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mask_change_reencrypts_exactly_the_changed_users() {
+        if fresh_encrypt_forced() {
+            return; // stats are trivially (4, 0) in bypass mode
+        }
+        let histogram = small_histogram();
+        let mut rng = StdRng::seed_from_u64(95);
+        let protocol = PrivateWeightingProtocol::setup(&histogram, &test_config(), &mut rng);
+        let (deltas, noises) = deltas_and_noise(&histogram, 3, 96);
+        let all = vec![true; 4];
+        let half = vec![true, false, true, false];
+
+        let _ = protocol.weighting_round(&deltas, &noises, Some(&all), &mut rng);
+        assert_eq!(protocol.round_cache_stats(), (4, 0), "first round encrypts everyone");
+        let _ = protocol.weighting_round(&deltas, &noises, Some(&all), &mut rng);
+        assert_eq!(protocol.round_cache_stats(), (0, 4), "unchanged mask reuses everyone");
+
+        // Users 1 and 3 flip to unsampled: exactly those two re-encrypt (as zero), the
+        // other two re-randomise — and the round still matches its reference.
+        let (out, _) = protocol.weighting_round(&deltas, &noises, Some(&half), &mut rng);
+        assert_eq!(protocol.round_cache_stats(), (2, 2), "only flipped users re-encrypt");
+        let reference = protocol.plaintext_reference(&deltas, &noises, Some(&half));
+        for (a, b) in out.iter().zip(reference.iter()) {
+            assert!((a - b).abs() < 1e-6, "secure {a} vs plaintext {b}");
+        }
+
+        // Flipping back re-encrypts the same two users again.
+        let (out, _) = protocol.weighting_round(&deltas, &noises, Some(&all), &mut rng);
+        assert_eq!(protocol.round_cache_stats(), (2, 2), "flip-back re-encrypts the pair");
+        let reference = protocol.plaintext_reference(&deltas, &noises, Some(&all));
+        for (a, b) in out.iter().zip(reference.iter()) {
+            assert!((a - b).abs() < 1e-6, "secure {a} vs plaintext {b}");
+        }
+
+        // reset_round_cache drops everything: the next round is fully fresh.
+        protocol.reset_round_cache();
+        let _ = protocol.weighting_round(&deltas, &noises, Some(&all), &mut rng);
+        assert_eq!(protocol.round_cache_stats(), (4, 0), "reset forces full re-encryption");
+    }
+
+    #[test]
+    fn dropout_invalidates_exactly_the_affected_users_entries() {
+        // Same plan/round as dropout_reweights_surviving_homomorphic_sum_exactly: round
+        // 3 drops exactly one of the three silos.
+        if fresh_encrypt_forced() {
+            return; // stats are trivially (4, 0) in bypass mode
+        }
+        let histogram = small_histogram();
+        let plan = FaultPlan { dropout_fraction: 0.4, seed: 77, ..FaultPlan::none() };
+        let mut rng = StdRng::seed_from_u64(97);
+        let protocol = PrivateWeightingProtocol::setup(&histogram, &faulted_config(plan), &mut rng);
+        let (deltas, noises) = deltas_and_noise(&histogram, 4, 98);
+
+        let _ = protocol.weighting_round(&deltas, &noises, None, &mut rng);
+        assert_eq!(protocol.round_cache_stats(), (4, 0));
+        // The faulted round itself is served entirely from cache (encryption happens
+        // before the dropout)…
+        let (_, dropped, _) = protocol.weighting_round_faulted(&deltas, &noises, None, 3, &mut rng);
+        assert_eq!(dropped.iter().filter(|&&d| d).count(), 1, "0.4 of 3 silos rounds to one");
+        assert_eq!(protocol.round_cache_stats(), (0, 4));
+        // …and afterwards exactly the users with records in the dropped silo are
+        // invalidated, so the next round freshly re-encrypts them alone.
+        let affected = (0..protocol.num_users())
+            .filter(|&u| dropped.iter().enumerate().any(|(s, &d)| d && histogram[s][u] > 0))
+            .count();
+        assert!(affected > 0 && affected < 4, "the plan must split the users");
+        let (out, _) = protocol.weighting_round(&deltas, &noises, None, &mut rng);
+        assert_eq!(protocol.round_cache_stats(), (affected, 4 - affected));
+        let reference = protocol.plaintext_reference(&deltas, &noises, None);
+        for (a, b) in out.iter().zip(reference.iter()) {
+            assert!((a - b).abs() < 1e-6, "secure {a} vs plaintext {b}");
         }
     }
 

@@ -211,8 +211,12 @@ pub static MODPOW_GENERIC: Counter = Counter::new("bigint.mod_pow_generic");
 pub static MODPOW_WINDOW: Counter = Counter::new("bigint.mod_pow_window");
 /// Fixed-base table exponentiations (`FixedBaseCtx::pow`).
 pub static MODPOW_FIXED_BASE: Counter = Counter::new("bigint.mod_pow_fixed_base");
+/// Interleaved multi-exponentiations (`ModulusCtx::multi_exp`, incl. batch members).
+pub static MULTI_EXP: Counter = Counter::new("bigint.multi_exp");
 /// Paillier encryptions (`encrypt` / `encrypt_with_randomness`, incl. batch members).
 pub static PAILLIER_ENCRYPT: Counter = Counter::new("crypto.paillier_encrypt");
+/// Paillier ciphertext re-randomisations (all `rerandomise*` variants).
+pub static PAILLIER_RERANDOMISE: Counter = Counter::new("crypto.paillier_rerandomise");
 /// Paillier ciphertext scalar multiplications (all `scalar_mul*` variants).
 pub static PAILLIER_SCALAR_MUL: Counter = Counter::new("crypto.paillier_scalar_mul");
 /// Paillier decryptions (CRT and generic).
@@ -234,14 +238,16 @@ pub static JOB_QUEUE_US: Histogram = Histogram::new("runtime.job_queue_wait_us")
 /// Pool job execution time.
 pub static JOB_EXEC_US: Histogram = Histogram::new("runtime.job_exec_us");
 
-static COUNTERS: [&Counter; 11] = [
+static COUNTERS: [&Counter; 13] = [
     &MONT_MUL,
     &MONT_SQR,
     &MODPOW_GENERIC,
     &MODPOW_WINDOW,
     &MODPOW_FIXED_BASE,
+    &MULTI_EXP,
     &PAILLIER_ENCRYPT,
     &PAILLIER_SCALAR_MUL,
+    &PAILLIER_RERANDOMISE,
     &PAILLIER_DECRYPT,
     &POOL_JOBS,
     &FAULT_EVENTS,
@@ -342,6 +348,8 @@ mod tests {
     #[test]
     fn registry_covers_workspace_metrics() {
         assert!(all_counters().iter().any(|c| c.name() == "bigint.mont_mul"));
+        assert!(all_counters().iter().any(|c| c.name() == "bigint.multi_exp"));
+        assert!(all_counters().iter().any(|c| c.name() == "crypto.paillier_rerandomise"));
         assert!(all_counters().iter().any(|c| c.name() == "privacy.ledger_entries"));
         assert!(all_gauges().iter().any(|g| g.name() == "runtime.pool_occupancy"));
         assert!(all_histograms().iter().any(|h| h.name() == "runtime.job_exec_us"));

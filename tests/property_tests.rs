@@ -208,3 +208,29 @@ fn paillier_homomorphism_random_values() {
         })
         .unwrap();
 }
+
+// Same shared-key-pair shape for the re-randomisation invariants: both the one-shot
+// `rerandomise` and the fixed-base `RerandCtx` path must decrypt to the original
+// plaintext while never reproducing the input ciphertext bits (the fresh n-th power is
+// 1 only with probability ~1/n ≈ 2⁻²⁵⁶).
+#[test]
+fn paillier_rerandomise_preserves_plaintext_never_bits() {
+    let mut keygen_rng = StdRng::seed_from_u64(78);
+    let kp = PaillierKeyPair::generate(&mut keygen_rng, 256);
+    let rerand_ctx = kp.public.rerand_ctx(&mut keygen_rng);
+    let mut runner = proptest::test_runner::TestRunner::default();
+    runner
+        .run(&(any::<u64>(), any::<u64>()), |(m, r)| {
+            let mut rng = StdRng::seed_from_u64(m ^ r.rotate_left(29));
+            let m = BigUint::from_u64(m);
+            let c = kp.public.encrypt(&mut rng, &m);
+            let fresh = kp.public.rerandomise(&mut rng, &c);
+            prop_assert_eq!(kp.secret.decrypt(&fresh), m.clone());
+            prop_assert_ne!(&fresh, &c);
+            let (ctx_fresh, _t) = rerand_ctx.rerandomise(&mut rng, &c);
+            prop_assert_eq!(kp.secret.decrypt(&ctx_fresh), m);
+            prop_assert_ne!(&ctx_fresh, &c);
+            Ok(())
+        })
+        .unwrap();
+}

@@ -77,8 +77,9 @@ fn protocol_weights_match_record_proportional_weight_matrix() {
 
 #[test]
 fn protocol_rounds_are_repeatable_across_rounds() {
-    // The same setup must serve multiple rounds with fresh encryption randomness and still
-    // agree with the plaintext reference each time.
+    // The same setup must serve multiple rounds and still agree with the plaintext
+    // reference each time — round 1 from fresh encryptions, later rounds from the
+    // cross-round cache's re-randomised ciphertexts.
     let mut rng = StdRng::seed_from_u64(23);
     let histogram = vec![vec![2usize, 3, 1], vec![1, 0, 4]];
     let protocol = PrivateWeightingProtocol::setup(&histogram, &protocol_config(), &mut rng);
