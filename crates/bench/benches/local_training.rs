@@ -81,7 +81,7 @@ fn bench_full_rounds(c: &mut Criterion) {
                         algorithms::default::run_round(&rt, &mut model, &data, &config, 1)
                     }
                     Method::UldpAvg { .. } => algorithms::uldp_avg::run_round(
-                        &rt, &mut model, &data, &config, &weights, 1.0, 1,
+                        &rt, &mut model, &data, &config, &weights, None, 1.0, 1,
                     ),
                     _ => unreachable!(),
                 }

@@ -19,6 +19,13 @@
 //! rows, agreement asserted bitwise), appended as the `modpow` section; CI fails if
 //! either section is missing.
 //!
+//! A `population_scaling` section (10⁴/10⁵/10⁶ users at q ∈ {0.01, 0.1}, 128-bit
+//! Paillier) proves round cost tracks the *sampled* count q·|U|: per-phase times plus
+//! the materialised per-user crypto state and peak fold bytes are recorded per row,
+//! and the binary asserts the 10⁶-user q=0.01 round stays within 3× of the 10⁵-user
+//! q=0.1 round (equal expected sample sizes). Skipped under `ULDP_DENSE_MASK=1`,
+//! which deliberately forces the O(|U|) dense-mask path.
+//!
 //! An 8-round replay over the same federation exercises the cross-round ciphertext
 //! cache: round 1 encrypts fresh, rounds 2..8 re-randomise, and each round's decrypted
 //! aggregate is printed as an `MRD <round> <fnv-hex>` fingerprint line (diffable against
@@ -39,10 +46,11 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
 use uldp_bench::{millis, pooled_vs_sequential_round, BenchEntry, BenchSection};
 use uldp_core::{
     ByzantineStrategy, FaultPlan, FlConfig, Method, PrivateWeightingProtocol, ProtocolConfig,
-    Trainer, WeightingStrategy,
+    SampleMask, Trainer, WeightingStrategy,
 };
 use uldp_datasets::creditcard::{self, CreditcardConfig};
 use uldp_ml::LinearClassifier;
@@ -287,9 +295,151 @@ fn main() {
         fused.fused_ms,
         fused.fused_speedup(),
     );
-    match uldp_bench::modpow::write_modpow_section(&cmp, &rerand, &fused) {
+    // The chain length matches the squaring ladder of one half-width exponentiation,
+    // so the row reads as "what the Karatsuba tier saves per scalar_mul".
+    let karatsuba = uldp_bench::modpow::karatsuba_comparison(modpow_bits.max(2048), 256, 1_000_099);
+    println!(
+        "KARATSUBA bits={} muls={}: generic {:9.1} ms | karatsuba {:9.1} ms ({:.2}x)",
+        karatsuba.modulus_bits,
+        karatsuba.num_muls,
+        karatsuba.generic_ms,
+        karatsuba.karatsuba_ms,
+        karatsuba.karatsuba_speedup(),
+    );
+    match uldp_bench::modpow::write_modpow_section(&cmp, &rerand, &fused, &karatsuba) {
         Ok(path) => println!("Wrote modpow section to {}", path.display()),
         Err(e) => eprintln!("Failed to write modpow section: {e}"),
+    }
+
+    // Population scaling: round cost must track the sampled count q·|U|, not the
+    // population |U|. Three populations × two sampling rates at a small Paillier
+    // modulus — the per-sampled-user crypto is constant across rows, so any
+    // superlinear growth of the per-phase times or of the materialised per-user
+    // state against q·|U| is a scaling regression. Setup (key generation, blinding,
+    // inversion — inherently O(|U|)) is paid once per population and reported as its
+    // own phase. The acceptance gate: the 10⁶-user q=0.01 round (10⁴ expected
+    // sampled) must stay within 3× of the 10⁵-user q=0.1 round (same expected
+    // sample size) on time, state bytes and peak fold bytes.
+    if uldp_core::sampling::dense_mask_forced() {
+        println!("POPULATION section skipped (ULDP_DENSE_MASK forces the O(|U|) path)");
+    } else {
+        Runtime::global().fold_gauge().reset();
+        let pop_bits = 128usize;
+        let pop_silos = 2usize;
+        let pop_dim = 2usize;
+        let mut pop_section = BenchSection::new("population_scaling", threads, pop_bits);
+        // (population, q) → (round_ms, state_bytes, peak_fold_bytes) for the gate.
+        let mut pop_rows: Vec<(usize, f64, f64, usize, usize)> = Vec::new();
+        for &population in &[10_000usize, 100_000, 1_000_000] {
+            let mut pop_rng = StdRng::seed_from_u64(0x0050_4f50 + population as u64); // "POP"
+            let pop_hist: Vec<Vec<usize>> = (0..pop_silos)
+                .map(|_| (0..population).map(|_| pop_rng.gen_range(0..4usize)).collect())
+                .collect();
+            let pop_config = ProtocolConfig {
+                paillier_bits: pop_bits,
+                dh_bits: 0,
+                use_rfc_group: true,
+                n_max: 8,
+                ..Default::default()
+            };
+            let setup_start = Instant::now();
+            let pop_protocol =
+                PrivateWeightingProtocol::setup(&pop_hist, &pop_config, &mut pop_rng);
+            let setup_ms = millis(setup_start.elapsed());
+            for &q in &[0.01f64, 0.1] {
+                let mask = SampleMask::poisson(&mut pop_rng, population, q);
+                let mut pop_deltas: Vec<Vec<Vec<f64>>> =
+                    vec![vec![Vec::new(); population]; pop_silos];
+                for u in mask.iter() {
+                    for (silo_row, hist_row) in pop_deltas.iter_mut().zip(pop_hist.iter()) {
+                        if hist_row[u] > 0 {
+                            silo_row[u] =
+                                (0..pop_dim).map(|_| pop_rng.gen_range(-0.5..0.5)).collect();
+                        }
+                    }
+                }
+                let pop_noises: Vec<Vec<f64>> = (0..pop_silos)
+                    .map(|_| (0..pop_dim).map(|_| pop_rng.gen_range(-0.01..0.01)).collect())
+                    .collect();
+                pop_protocol.reset_round_cache();
+                Runtime::global().fold_gauge().reset();
+                let (pop_agg, pop_timings) = pop_protocol.weighting_round(
+                    &pop_deltas,
+                    &pop_noises,
+                    Some(&mask),
+                    &mut pop_rng,
+                );
+                assert!(pop_agg.iter().all(|v| v.is_finite()));
+                let state_bytes = pop_protocol.cached_state_bytes();
+                let state_entries = pop_protocol.cached_entry_count();
+                let peak_fold = Runtime::global().fold_gauge().peak();
+                let round_ms = millis(pop_timings.total());
+                println!(
+                    "POP users={population} q={q}: sampled {} | srv_enc {:9.1} ms | \
+                     silo_enc {:9.1} ms | agg {:9.1} ms | state {} B in {} entries | \
+                     peak_fold {} B | setup {setup_ms:9.1} ms",
+                    mask.sampled_count(),
+                    millis(pop_timings.server_encryption),
+                    millis(pop_timings.silo_weighting),
+                    millis(pop_timings.aggregation),
+                    state_bytes,
+                    state_entries,
+                    peak_fold,
+                );
+                let mut entry = BenchEntry::new(format!("users={population} q={q}"));
+                entry
+                    .phase("setup", setup_ms)
+                    .phase("srv_enc", millis(pop_timings.server_encryption))
+                    .phase("silo_enc", millis(pop_timings.silo_weighting))
+                    .phase("agg", millis(pop_timings.aggregation))
+                    .phase("round", round_ms)
+                    .phase("sampled_users", mask.sampled_count() as f64)
+                    .phase("state_bytes", state_bytes as f64)
+                    .phase("state_entries", state_entries as f64)
+                    .phase("peak_fold_bytes", peak_fold as f64);
+                pop_section.entries.push(entry);
+                pop_rows.push((population, q, round_ms, state_bytes, peak_fold));
+            }
+        }
+        match pop_section.write() {
+            Ok(path) => println!("Wrote population_scaling section to {}", path.display()),
+            Err(e) => eprintln!("Failed to write population_scaling section: {e}"),
+        }
+        // The sub-linear-cost gate: equal expected sample sizes must cost alike even
+        // though the populations differ 10×. Timing is gated only when large enough
+        // to be meaningful; the byte gauges are analytic, so they are gated always.
+        let small =
+            pop_rows.iter().find(|r| r.0 == 100_000 && r.1 == 0.1).expect("10^5 q=0.1 row present");
+        let large = pop_rows
+            .iter()
+            .find(|r| r.0 == 1_000_000 && r.1 == 0.01)
+            .expect("10^6 q=0.01 row present");
+        assert!(
+            large.3 as f64 <= 3.0 * small.3 as f64,
+            "10^6-user q=0.01 state {} B exceeds 3x the 10^5-user q=0.1 state {} B",
+            large.3,
+            small.3
+        );
+        assert!(
+            large.4 as f64 <= 3.0 * small.4 as f64,
+            "10^6-user q=0.01 peak fold {} B exceeds 3x the 10^5-user q=0.1 peak {} B",
+            large.4,
+            small.4
+        );
+        if small.2 >= 5.0 {
+            assert!(
+                large.2 <= 3.0 * small.2,
+                "10^6-user q=0.01 round {:.1} ms exceeds 3x the 10^5-user q=0.1 round {:.1} ms",
+                large.2,
+                small.2
+            );
+        }
+        println!(
+            "POPULATION ok: 10^6 q=0.01 round {:.1} ms / {} B vs 10^5 q=0.1 round \
+             {:.1} ms / {} B (within 3x)",
+            large.2, large.3, small.2, small.3
+        );
+        Runtime::global().fold_gauge().reset();
     }
 
     // A tiny faulted training run (2 rounds, dropouts + stragglers + byzantine

@@ -181,6 +181,14 @@ pub fn pooled_vs_sequential_round(
     noises: &[Vec<f64>],
     rng: &mut StdRng,
 ) -> (PrivateWeightingProtocol, RoundComparison) {
+    // Warm-up round on a cloned RNG, output and cache discarded: the first round over
+    // a fresh protocol pays one-time lazy initialisation (CRT decryption contexts,
+    // re-randomisation tables, allocator growth) that belongs to neither side of the
+    // threads comparison — without this the pooled round, which runs first, absorbed
+    // that cost and a 1-thread "pooled" run read as slower than sequential.
+    let mut warm_rng = rng.clone();
+    let _ = protocol.weighting_round(deltas, noises, None, &mut warm_rng);
+    protocol.reset_round_cache();
     let mut seq_rng = rng.clone();
     protocol.runtime().fold_gauge().reset();
     let (aggregate, timings) = protocol.weighting_round(deltas, noises, None, rng);

@@ -249,6 +249,68 @@ pub fn multi_exp_comparison(
     MultiExpComparison { modulus_bits, k, num_products, unfused_ms, fused_ms }
 }
 
+/// Wall-clock of a chain of `num_muls` modular multiplications at a modulus wide
+/// enough (≥ 2048 bits) that [`ModulusCtx`] takes its separated Karatsuba-product
+/// tier, vs the generic `div_rem`-reducing [`mod_mul`]. The chain shape (each product
+/// feeds the next) mirrors the exponentiation ladders that dominate Protocol 1.
+#[derive(Clone, Debug)]
+pub struct KaratsubaComparison {
+    /// Modulus bit length (must put the context at or above the Karatsuba threshold).
+    pub modulus_bits: usize,
+    /// Multiplications per chain.
+    pub num_muls: usize,
+    /// Generic schoolbook product + `div_rem` reduction per step.
+    pub generic_ms: f64,
+    /// Montgomery chain through the Karatsuba tier (conversions included once).
+    pub karatsuba_ms: f64,
+}
+
+impl KaratsubaComparison {
+    /// Speedup of the Karatsuba-tier Montgomery chain over the generic chain.
+    pub fn karatsuba_speedup(&self) -> f64 {
+        self.generic_ms / self.karatsuba_ms.max(1e-9)
+    }
+}
+
+/// Runs both multiplication chains over an identical `(modulus, start, factor)`
+/// workload and asserts the final values are bitwise-identical.
+pub fn karatsuba_comparison(
+    modulus_bits: usize,
+    num_muls: usize,
+    seed: u64,
+) -> KaratsubaComparison {
+    assert!(modulus_bits >= 2048, "below the Montgomery engine's Karatsuba tier");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut modulus = BigUint::random_with_bits(&mut rng, modulus_bits);
+    if modulus.is_even() {
+        modulus = modulus.add(&BigUint::one());
+    }
+    let start_value = BigUint::random_below(&mut rng, &modulus);
+    let factor = BigUint::random_below(&mut rng, &modulus);
+
+    let start = Instant::now();
+    let mut generic = start_value.clone();
+    for _ in 0..num_muls {
+        generic = mod_mul(&generic, &factor, &modulus);
+    }
+    let generic_ms = millis(start.elapsed());
+
+    // Context construction and domain conversions included once, amortised over the
+    // chain — the same shape the exponentiation ladders pay.
+    let start = Instant::now();
+    let ctx = ModulusCtx::new(&modulus);
+    let factor_m = ctx.to_mont(&factor);
+    let mut acc = ctx.to_mont(&start_value);
+    for _ in 0..num_muls {
+        acc = ctx.mont_mul(&acc, &factor_m);
+    }
+    let karatsuba = ctx.from_mont(&acc);
+    let karatsuba_ms = millis(start.elapsed());
+
+    assert_eq!(generic, karatsuba, "Karatsuba-tier chain diverged from the generic chain");
+    KaratsubaComparison { modulus_bits, num_muls, generic_ms, karatsuba_ms }
+}
+
 /// Writes the comparisons as the `modpow` section of `BENCH_protocol.json` and returns
 /// the report path. Single-core by construction (every batch runs on the calling
 /// thread).
@@ -256,6 +318,7 @@ pub fn write_modpow_section(
     cmp: &ModpowComparison,
     rerand: &RerandComparison,
     fused: &MultiExpComparison,
+    karatsuba: &KaratsubaComparison,
 ) -> std::io::Result<PathBuf> {
     let mut section = BenchSection::new("modpow", 1, cmp.modulus_bits);
     let label_suffix =
@@ -294,6 +357,15 @@ pub fn write_modpow_section(
     fused_entry.phase("total", fused.fused_ms);
     fused_entry.speedup_vs_sequential = Some(fused.fused_speedup());
     section.entries.push(fused_entry);
+
+    let kara_suffix = format!("bits={} muls={}", karatsuba.modulus_bits, karatsuba.num_muls);
+    let mut kara_generic = BenchEntry::new(format!("mod_mul_generic {kara_suffix}"));
+    kara_generic.phase("total", karatsuba.generic_ms);
+    section.entries.push(kara_generic);
+    let mut kara_entry = BenchEntry::new(format!("karatsuba {kara_suffix}"));
+    kara_entry.phase("total", karatsuba.karatsuba_ms);
+    kara_entry.speedup_vs_sequential = Some(karatsuba.karatsuba_speedup());
+    section.entries.push(kara_entry);
     section.write()
 }
 
@@ -319,6 +391,16 @@ mod tests {
         assert_eq!(cmp.num_ops, 3);
         assert!(cmp.encrypt_ms >= 0.0 && cmp.rerandomise_ms >= 0.0);
         assert!(cmp.ctx_rerandomise_ms >= 0.0);
+    }
+
+    #[test]
+    fn karatsuba_comparison_runs_and_agrees() {
+        // Bitwise agreement of the tiers lives inside karatsuba_comparison; 2048 bits
+        // is the smallest modulus that engages the separated-product tier.
+        let cmp = karatsuba_comparison(2048, 8, 17);
+        assert_eq!(cmp.modulus_bits, 2048);
+        assert_eq!(cmp.num_muls, 8);
+        assert!(cmp.generic_ms >= 0.0 && cmp.karatsuba_ms >= 0.0);
     }
 
     #[test]

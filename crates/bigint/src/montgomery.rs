@@ -80,6 +80,15 @@ impl std::fmt::Debug for ModulusCtx {
 /// between 512- and 1024-bit moduli; Paillier ciphertext moduli are 1–6 kbit).
 const SQR_MIN_LIMBS: usize = 12;
 
+/// From this many limbs (2048-bit moduli) upward [`ModulusCtx::mont_mul_limbs`]
+/// abandons the interleaved CIOS pass for a separated product + reduction: the full
+/// `2s`-word product comes from [`BigUint::mul`], whose Karatsuba tier kicks in at the
+/// same width and saves word multiplications sub-quadratically, and the reduction then
+/// folds `m_i·n` word by word exactly as in the dedicated squaring. Matches
+/// `KARATSUBA_THRESHOLD` in `biguint.rs` — below it the separated form would run the
+/// same schoolbook product as CIOS but with an extra pass over the buffer.
+const KARATSUBA_MONT_MIN_LIMBS: usize = 32;
+
 /// `x⁻¹ mod 2⁶⁴` for odd `x` (Newton–Hensel lifting: 6 doublings from the trivial
 /// inverse mod 2).
 fn inv_mod_word(x: u64) -> u64 {
@@ -159,6 +168,13 @@ impl ModulusCtx {
     /// [`ModulusCtx::mont_sqr`], bitwise-identical to `mod_mul(a, a, n)`.
     pub fn sqr(&self, a: &BigUint) -> BigUint {
         self.from_mont(&self.mont_sqr(&self.to_mont(a)))
+    }
+
+    /// `a·b mod n` in normal form through the Montgomery domain — bitwise-identical to
+    /// [`crate::modular::mod_mul`]`(a, b, n)`, but reusing this context's cached state
+    /// (and its Karatsuba product tier at wide moduli).
+    pub fn mod_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.from_mont(&self.mont_mul(&self.to_mont(a), &self.to_mont(b)))
     }
 
     /// Dedicated Montgomery squaring: the product phase computes each cross term
@@ -261,6 +277,9 @@ impl ModulusCtx {
         let s = self.n_limbs.len();
         debug_assert_eq!(a.len(), s);
         debug_assert_eq!(b.len(), s);
+        if s >= KARATSUBA_MONT_MIN_LIMBS {
+            return self.mont_mul_limbs_karatsuba(a, b);
+        }
         let n = &self.n_limbs;
         let mut t = vec![0u64; s + 2];
         for &ai in a.iter() {
@@ -305,6 +324,61 @@ impl ModulusCtx {
             }
             debug_assert_eq!(t[s] as i128 - borrow, 0);
         }
+        t.truncate(s);
+        t
+    }
+
+    /// Separated-product Montgomery multiplication for wide moduli
+    /// (≥ [`KARATSUBA_MONT_MIN_LIMBS`]): the full `2s`-word integer product `a·b` comes
+    /// from [`BigUint::mul`] — which dispatches to its Karatsuba tier at exactly these
+    /// widths — and the word-by-word Montgomery reduction of
+    /// [`ModulusCtx::mont_sqr_limbs`] then cancels the low `s` words. Integer
+    /// arithmetic is exact, so the result limbs are identical to the interleaved CIOS
+    /// pass.
+    fn mont_mul_limbs_karatsuba(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let s = self.n_limbs.len();
+        let n = &self.n_limbs;
+        let product = BigUint::from_limbs(a.to_vec()).mul(&BigUint::from_limbs(b.to_vec()));
+        // a·b < n² < 2^(128s); the extra word is headroom for the reduction's carries.
+        let mut t = to_fixed_width(&product, 2 * s + 1);
+        // Separated Montgomery reduction: fold m_i·n into t at word offset i so the low
+        // s words cancel. The running total stays below a·b + R·n < 2^(64(2s+1)), so
+        // the carry chain never leaves the buffer.
+        for i in 0..s {
+            let m = t[i].wrapping_mul(self.n0_inv) as u128;
+            let mut carry = 0u128;
+            for (tj, &nj) in t[i..i + s].iter_mut().zip(n.iter()) {
+                let cur = *tj as u128 + m * nj as u128 + carry;
+                *tj = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + s;
+            while carry != 0 {
+                debug_assert!(k <= 2 * s);
+                let cur = t[k] as u128 + carry;
+                t[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        // Shift down s words: result = t[s..=2s] < 2n (a·b < n·R for a, b < n), so one
+        // conditional subtraction canonicalises it, exactly like the CIOS pass.
+        let needs_sub = t[2 * s] != 0 || cmp_fixed(&t[s..2 * s], n) != std::cmp::Ordering::Less;
+        if needs_sub {
+            let mut borrow = 0i128;
+            for j in 0..s {
+                let mut diff = t[s + j] as i128 - n[j] as i128 - borrow;
+                if diff < 0 {
+                    diff += 1i128 << 64;
+                    borrow = 1;
+                } else {
+                    borrow = 0;
+                }
+                t[s + j] = diff as u64;
+            }
+            debug_assert_eq!(t[2 * s] as i128 - borrow, 0);
+        }
+        t.drain(..s);
         t.truncate(s);
         t
     }
@@ -671,6 +745,49 @@ mod tests {
                 let b = BigUint::random_below(&mut rng, &modulus);
                 let product = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
                 assert_eq!(product, a.mul(&b).rem(&modulus));
+            }
+        }
+    }
+
+    #[test]
+    fn karatsuba_tier_matches_schoolbook_product() {
+        // 2048- and 2368-bit moduli are ≥ KARATSUBA_MONT_MIN_LIMBS limbs wide, so
+        // mont_mul_limbs takes the separated Karatsuba-product route; the result must
+        // still be bitwise-identical to the generic reduction of the schoolbook product.
+        let mut rng = StdRng::seed_from_u64(17);
+        for bits in [2048usize, 2368] {
+            let mut modulus = BigUint::random_with_bits(&mut rng, bits);
+            if modulus.is_even() {
+                modulus = modulus.add(&BigUint::one());
+            }
+            let ctx = ModulusCtx::new(&modulus);
+            assert!(ctx.modulus().limbs().len() >= KARATSUBA_MONT_MIN_LIMBS);
+            for _ in 0..4 {
+                let a = BigUint::random_below(&mut rng, &modulus);
+                let b = BigUint::random_below(&mut rng, &modulus);
+                assert_eq!(ctx.mod_mul(&a, &b), a.mul(&b).rem(&modulus), "bits={bits}");
+            }
+            // edge values: 0, 1, n − 1
+            let top = modulus.sub(&BigUint::one());
+            assert_eq!(ctx.mod_mul(&BigUint::zero(), &top), BigUint::zero());
+            assert_eq!(ctx.mod_mul(&BigUint::one(), &top), top);
+            assert_eq!(ctx.mod_mul(&top, &top), top.mul(&top).rem(&modulus));
+        }
+    }
+
+    #[test]
+    fn mod_mul_matches_generic_helper() {
+        let mut rng = StdRng::seed_from_u64(19);
+        for bits in [128usize, 512, 2048] {
+            let mut modulus = BigUint::random_with_bits(&mut rng, bits);
+            if modulus.is_even() {
+                modulus = modulus.add(&BigUint::one());
+            }
+            let ctx = ModulusCtx::new(&modulus);
+            for _ in 0..3 {
+                let a = BigUint::random_below(&mut rng, &modulus);
+                let b = BigUint::random_below(&mut rng, &modulus);
+                assert_eq!(ctx.mod_mul(&a, &b), crate::modular::mod_mul(&a, &b, &modulus));
             }
         }
     }

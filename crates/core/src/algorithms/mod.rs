@@ -13,6 +13,7 @@ pub(crate) mod stream;
 pub mod uldp_avg;
 pub mod uldp_sgd;
 
+use crate::sampling::SampleMask;
 use crate::weighting::WeightMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -58,18 +59,27 @@ pub(crate) fn noise_rng(round_seed: u64, silo: usize) -> StdRng {
 }
 
 /// The participating `(silo, user)` pairs of a round — users present in a silo whose
-/// weight is non-zero (i.e. sampled) — in flattened silo-major order. Shared by
-/// `uldp_avg` and `uldp_sgd`, whose parallel regions run one task per pair.
+/// weight is non-zero and who are in the round's sampling mask — in flattened
+/// silo-major order. Shared by `uldp_avg` and `uldp_sgd`, whose parallel regions run
+/// one task per pair.
+///
+/// The mask is probed per candidate task rather than materialised into a zeroed weight
+/// matrix, so an unsampled user costs one [`SampleMask::contains`] probe and no
+/// per-user allocation; the resulting task list is identical to filtering on a
+/// [`WeightMatrix::masked_by_sampling`] copy of `weights`.
 pub(crate) fn participating_tasks(
     dataset: &FederatedDataset,
     weights: &WeightMatrix,
+    mask: Option<&SampleMask>,
 ) -> Vec<(usize, usize)> {
     (0..dataset.num_silos)
         .flat_map(|silo_id| {
             dataset
                 .users_in_silo(silo_id)
                 .into_iter()
-                .filter(move |&user| weights.get(silo_id, user) != 0.0)
+                .filter(move |&user| {
+                    mask.is_none_or(|m| m.contains(user)) && weights.get(silo_id, user) != 0.0
+                })
                 .map(move |user| (silo_id, user))
         })
         .collect()

@@ -14,6 +14,7 @@
 use crate::aggregation::{add_gaussian_noise, sum_deltas};
 use crate::algorithms::{apply_update, noise_rng, participating_tasks, stream, task_rng};
 use crate::config::FlConfig;
+use crate::sampling::SampleMask;
 use crate::silo;
 use crate::weighting::WeightMatrix;
 use uldp_datasets::FederatedDataset;
@@ -24,8 +25,10 @@ use uldp_telemetry::{metrics, trace};
 /// Runs one ULDP-AVG round on the worker pool, updating `model` in place.
 ///
 /// `weights` must satisfy the `Σ_s w_{s,u} ≤ 1` constraint; user-level sub-sampling is
-/// expressed by passing a weight matrix whose unsampled users are zeroed
-/// ([`WeightMatrix::masked_by_sampling`]) together with the matching `sampling_q`.
+/// expressed by passing the round's [`SampleMask`] together with the matching
+/// `sampling_q`. The mask filters the task list directly — equivalent to (but without
+/// allocating) a [`WeightMatrix::masked_by_sampling`] copy whose unsampled users are
+/// zeroed, so sampled-round cost scales with the sampled users, not the population.
 ///
 /// The per-user local training loops — the algorithm's dominant cost (Section 3.4) — run
 /// on the streaming sharded round engine ([`crate::algorithms::stream`]): each silo's
@@ -47,12 +50,14 @@ use uldp_telemetry::{metrics, trace};
 ///
 /// All fault decisions are pure functions of `(plan seed, round_seed, silo[, user])`, so
 /// faulted rounds keep the bitwise runtime-grid determinism.
+#[allow(clippy::too_many_arguments)]
 pub fn run_round(
     rt: &Runtime,
     model: &mut Box<dyn Model>,
     dataset: &FederatedDataset,
     config: &FlConfig,
     weights: &WeightMatrix,
+    mask: Option<&SampleMask>,
     sampling_q: f64,
     round_seed: u64,
 ) {
@@ -81,7 +86,7 @@ pub fn run_round(
         }
     }
 
-    let mut tasks = participating_tasks(dataset, weights);
+    let mut tasks = participating_tasks(dataset, weights, mask);
     tasks.retain(|&(silo_id, _)| !dropped[silo_id]);
 
     let mut deltas = stream::stream_silo_deltas(
@@ -186,7 +191,7 @@ mod tests {
         let mut cfg = config;
         cfg.global_lr = 3.0 * 8.0;
         for t in 0..10 {
-            run_round(&rt(), &mut model, &dataset, &cfg, &weights, 1.0, t);
+            run_round(&rt(), &mut model, &dataset, &cfg, &weights, None, 1.0, t);
         }
         let acc = accuracy(model.as_ref(), &dataset.test);
         assert!(acc > 0.9, "accuracy {acc}");
@@ -210,7 +215,7 @@ mod tests {
         };
         let weights = WeightMatrix::uniform(2, 6);
         let before = model.parameters().to_vec();
-        run_round(&rt(), &mut model, &dataset, &cfg, &weights, 1.0, 0);
+        run_round(&rt(), &mut model, &dataset, &cfg, &weights, None, 1.0, 0);
         let moved: f64 = model
             .parameters()
             .iter()
@@ -240,7 +245,7 @@ mod tests {
         let none = weights.masked_by_sampling(&[false; 6]);
         let mut model = tiny_model();
         let before = model.parameters().to_vec();
-        run_round(&rt(), &mut model, &dataset, &cfg, &none, 0.5, 0);
+        run_round(&rt(), &mut model, &dataset, &cfg, &none, None, 0.5, 0);
         assert_eq!(model.parameters(), before.as_slice());
     }
 
@@ -254,7 +259,7 @@ mod tests {
         assert!(weights.satisfies_sensitivity_constraint(1e-9));
         let mut model = tiny_model();
         let cfg = avg_config(0.0, 3);
-        run_round(&rt(), &mut model, &dataset, &cfg, &weights, 1.0, 0);
+        run_round(&rt(), &mut model, &dataset, &cfg, &weights, None, 1.0, 0);
         assert!(model.parameters().iter().all(|p| p.is_finite()));
     }
 }

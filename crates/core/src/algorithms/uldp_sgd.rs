@@ -8,6 +8,7 @@
 use crate::aggregation::{add_gaussian_noise, sum_deltas};
 use crate::algorithms::{apply_update, noise_rng, participating_tasks, stream};
 use crate::config::FlConfig;
+use crate::sampling::SampleMask;
 use crate::silo;
 use crate::weighting::WeightMatrix;
 use uldp_datasets::FederatedDataset;
@@ -27,12 +28,14 @@ use uldp_telemetry::{metrics, trace};
 /// gradients nor noise and the update re-scales by the surviving silo count; byzantine
 /// silos corrupt raw gradients *before* clipping, bounding their influence by the
 /// clipping norm. Fault decisions are seed-derived, preserving bitwise determinism.
+#[allow(clippy::too_many_arguments)]
 pub fn run_round(
     rt: &Runtime,
     model: &mut Box<dyn Model>,
     dataset: &FederatedDataset,
     config: &FlConfig,
     weights: &WeightMatrix,
+    mask: Option<&SampleMask>,
     sampling_q: f64,
     round_seed: u64,
 ) {
@@ -61,7 +64,7 @@ pub fn run_round(
         }
     }
 
-    let mut tasks = participating_tasks(dataset, weights);
+    let mut tasks = participating_tasks(dataset, weights, mask);
     tasks.retain(|&(silo_id, _)| !dropped[silo_id]);
 
     let mut gradients = stream::stream_silo_deltas(
@@ -145,7 +148,7 @@ mod tests {
         let mut model = tiny_model();
         let before = accuracy(model.as_ref(), &dataset.test);
         for t in 0..30 {
-            run_round(&rt(), &mut model, &dataset, &cfg, &weights, 1.0, t);
+            run_round(&rt(), &mut model, &dataset, &cfg, &weights, None, 1.0, t);
         }
         let after = accuracy(model.as_ref(), &dataset.test);
         assert!(after > before.max(0.85), "accuracy {before} -> {after}");
@@ -159,7 +162,7 @@ mod tests {
         let mut model = tiny_model();
         let refs: Vec<&uldp_ml::Sample> = dataset.test.iter().collect();
         let loss_before = model.loss(&refs);
-        run_round(&rt(), &mut model, &dataset, &cfg, &weights, 1.0, 0);
+        run_round(&rt(), &mut model, &dataset, &cfg, &weights, None, 1.0, 0);
         let loss_after = model.loss(&refs);
         assert!(loss_after < loss_before, "{loss_before} -> {loss_after}");
     }
@@ -171,7 +174,7 @@ mod tests {
         let cfg = sgd_config();
         let mut model = tiny_model();
         let before = model.parameters().to_vec();
-        run_round(&rt(), &mut model, &dataset, &cfg, &weights, 1.0, 0);
+        run_round(&rt(), &mut model, &dataset, &cfg, &weights, None, 1.0, 0);
         assert_eq!(model.parameters(), before.as_slice());
     }
 }

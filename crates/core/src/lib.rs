@@ -30,6 +30,7 @@ pub mod algorithms;
 pub mod attack;
 pub mod config;
 pub mod protocol;
+pub mod sampling;
 pub mod scenario;
 pub mod silo;
 pub mod trainer;
@@ -39,6 +40,7 @@ pub use config::{FlConfig, GroupSize, Method, WeightingStrategy};
 pub use protocol::{
     ObliviousSubsampling, PrivateWeightingProtocol, ProtocolConfig, ProtocolTimings, RoundTimings,
 };
+pub use sampling::SampleMask;
 pub use scenario::{ByzantineStrategy, FaultPlan, Scenario};
 pub use trainer::{RoundMetrics, Trainer, TrainingHistory};
 pub use weighting::WeightMatrix;

@@ -64,12 +64,29 @@
 //! group arithmetic, so decrypted aggregates stay bitwise-identical to the
 //! fresh-encryption path at every `(threads, shards, chunk)` point — CI diffs a cached
 //! against a `ULDP_FRESH_ENCRYPT=1` smoke run to pin this.
+//!
+//! ## Population scaling
+//!
+//! Round cost tracks the *sampled* users, not the population. A round's user-level
+//! Poisson sample arrives as a [`SampleMask`] — dense flags or sorted sampled indices
+//! ([`crate::sampling`]). With a sparse mask, step 2.(a) encrypts (or re-randomises)
+//! only the sampled users' inverses, the cross-round cache holds entries only for users
+//! that have actually been sampled (a `BTreeMap` keyed by user id, not an `O(|U|)` slot
+//! vector), and the step 2.(b) cell fold walks per-silo participant lists built from
+//! the round's active users instead of scanning `0..|U|` per cell — so unsampled users
+//! cost no ciphertext, no fixed-base table and no fold work. Omitting an unsampled
+//! user's `Enc(0)` term subtracts exactly zero from every decrypted total, so sparse
+//! and dense masks produce bitwise-identical aggregates at every `(threads, shards,
+//! chunk)` point; `ULDP_DENSE_MASK=1` forces the dense representation everywhere so CI
+//! can diff the two paths process against process.
 
 use crate::config::WeightingStrategy;
+use crate::sampling::SampleMask;
 use crate::scenario::FaultPlan;
 use crate::weighting::WeightMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 use uldp_bigint::modular::{mod_inv, mod_mul, mod_pow};
@@ -190,8 +207,10 @@ struct RoundCryptoCache {
     /// Shared re-randomisation context (`h = ρ^n mod n²` plus its wide fixed-base
     /// table), derived once per federation from the first round's reserved seed slot.
     rerand: Option<Arc<RerandCtx>>,
-    /// Per-user entries; `None` until first encrypted or after invalidation.
-    entries: Vec<Option<CacheEntry>>,
+    /// Per-user entries keyed by user id, created lazily the first round a user is
+    /// active and removed on invalidation. Sparse sampled rounds therefore hold
+    /// `O(q·|U|)`-many entries — an unsampled user never allocates cache state.
+    entries: BTreeMap<u32, CacheEntry>,
     /// Users freshly encrypted by the most recent round's step 2.(a).
     last_fresh: usize,
     /// Users re-randomised from cache by the most recent round's step 2.(a).
@@ -504,7 +523,7 @@ impl PrivateWeightingProtocol {
             fault_plan: config.fault_plan,
             cache: Mutex::new(RoundCryptoCache {
                 rerand: None,
-                entries: (0..num_users).map(|_| None).collect(),
+                entries: BTreeMap::new(),
                 last_fresh: 0,
                 last_rerandomised: 0,
             }),
@@ -568,49 +587,98 @@ impl PrivateWeightingProtocol {
         (cache.last_fresh, cache.last_rerandomised)
     }
 
+    /// Number of users currently holding a cross-round cache entry. Dense rounds
+    /// materialise one entry per user; sparse sampled rounds only ever materialise
+    /// entries for users that have been active in some round.
+    pub fn cached_entry_count(&self) -> usize {
+        let cache = self.cache.lock().expect("cache mutex poisoned");
+        cache.entries.len()
+    }
+
+    /// Estimated resident bytes of the cross-round per-user crypto state: two
+    /// ciphertexts and one accumulated exponent per entry, plus any fixed-base tables.
+    /// With a sparse [`SampleMask`] this tracks `O(q·|U|)` instead of `O(|U|)` — the
+    /// population-scaling benchmarks report it alongside the fold gauge.
+    pub fn cached_state_bytes(&self) -> usize {
+        let cache = self.cache.lock().expect("cache mutex poisoned");
+        let ct_bytes = self.paillier.public.n_squared.bit_length().div_ceil(64) * 8;
+        let n_bytes = self.paillier.public.n.bit_length().div_ceil(64) * 8;
+        let table_bytes = FixedBaseCtx::estimated_table_bytes(
+            self.paillier.public.n_squared.bit_length(),
+            self.paillier.public.n.bit_length(),
+        );
+        cache
+            .entries
+            .values()
+            .map(|e| 2 * ct_bytes + n_bytes + if e.table.is_some() { table_bytes } else { 0 })
+            .sum()
+    }
+
     /// Drops every cached ciphertext (and the re-randomisation context), so the next
     /// round freshly encrypts all inverses — used by benchmarks that run several rounds
     /// of the same setup and need each to pay the full encryption cost.
     pub fn reset_round_cache(&self) {
         let mut cache = self.cache.lock().expect("cache mutex poisoned");
         cache.rerand = None;
-        for entry in cache.entries.iter_mut() {
-            *entry = None;
+        cache.entries.clear();
+    }
+
+    /// The round's *active* users — the users whose encrypted inverses are actually
+    /// distributed to the silos — as an ascending id list.
+    ///
+    /// With no mask or a dense mask this is every user: unsampled users receive
+    /// `Enc(0)`, the legacy path, bitwise identical to earlier revisions. A sparse mask
+    /// keeps only sampled users that hold records — omitting a user's `Enc(0)` term
+    /// subtracts exactly zero from every decrypted total, so the aggregate keeps
+    /// identical bits while step 2.(a)–(b) cost drops to `O(q·|U|)` crypto operations.
+    fn active_users(&self, sampled: Option<&SampleMask>) -> Vec<u32> {
+        match sampled {
+            Some(mask) if mask.is_sparse() => mask
+                .iter()
+                .filter(|&u| self.blinded_inverses[u].is_some())
+                .map(|u| u as u32)
+                .collect(),
+            _ => (0..self.num_users as u32).collect(),
         }
     }
 
-    /// Step 2.(a): produces the per-user encrypted blinded inverses for one round —
-    /// either freshly encrypting everything (bypass mode, first round, invalidated
-    /// entries) or re-randomising cached ciphertexts in one pooled batch.
+    /// Step 2.(a): produces the encrypted blinded inverses for one round's active users
+    /// — either freshly encrypting everything (bypass mode, first round, invalidated
+    /// entries) or re-randomising cached ciphertexts in one pooled batch. Returns the
+    /// active user ids with their ciphertexts aligned position for position.
     ///
     /// Exactly one 256-bit batch seed is drawn from the caller's RNG whichever path
-    /// runs, so the cached and fresh-encryption executions consume identical randomness
-    /// streams and CI can diff their aggregates process against process. Per-user work
-    /// is seeded from `(seed, u)`, so the output is bitwise-identical at any thread
-    /// count.
+    /// runs, so the cached, fresh-encryption, sparse and dense executions all consume
+    /// identical caller randomness streams and CI can diff their aggregates process
+    /// against process. Per-user work is seeded from `(seed, user id)` — not the active
+    /// position — so a sparse round derives exactly the per-user streams the dense walk
+    /// would, and the output is bitwise-identical at any thread count.
     fn distribute_inverses<R: Rng + ?Sized>(
         &self,
-        sampled: Option<&[bool]>,
+        sampled: Option<&SampleMask>,
         rng: &mut R,
-    ) -> (Vec<Ciphertext>, Option<CachedRoundState>) {
+    ) -> (Vec<u32>, Vec<Ciphertext>, Option<CachedRoundState>) {
         let batch_seed = seeding::wide_seed_from_rng(rng);
-        let keeps: Vec<bool> = (0..self.num_users)
-            .map(|u| sampled.is_none_or(|s| s[u]) && self.blinded_inverses[u].is_some())
-            .collect();
+        let active = self.active_users(sampled);
+        let keep_of = |u: usize| -> bool {
+            sampled.is_none_or(|m| m.contains(u)) && self.blinded_inverses[u].is_some()
+        };
         let plaintext = |u: usize| -> BigUint {
-            if keeps[u] {
+            if keep_of(u) {
                 self.blinded_inverses[u].clone().expect("keep implies a blinded inverse")
             } else {
                 BigUint::zero()
             }
         };
         if self.fresh_encrypt {
-            let plaintexts: Vec<BigUint> = (0..self.num_users).map(plaintext).collect();
-            let cts = self.paillier.public.encrypt_batch(&self.runtime, batch_seed, &plaintexts);
+            let cts: Vec<Ciphertext> = self.runtime.par_map(&active, |_, &u| {
+                let mut rng = StdRng::from_seed(seeding::index_seed_wide(batch_seed, u as u64));
+                self.paillier.public.encrypt(&mut rng, &plaintext(u as usize))
+            });
             let mut cache = self.cache.lock().expect("cache mutex poisoned");
-            cache.last_fresh = self.num_users;
+            cache.last_fresh = active.len();
             cache.last_rerandomised = 0;
-            return (cts, None);
+            return (active, cts, None);
         }
         let mut cache = self.cache.lock().expect("cache mutex poisoned");
         if cache.rerand.is_none() {
@@ -622,43 +690,50 @@ impl PrivateWeightingProtocol {
         }
         let rerand = Arc::clone(cache.rerand.as_ref().expect("context just initialised"));
         let headroom_bits = self.paillier.public.n.bit_length() + RERAND_EXP_HEADROOM_BITS;
-        let fresh: Vec<bool> = (0..self.num_users)
-            .map(|u| match &cache.entries[u] {
-                Some(e) => e.keep != keeps[u] || e.rand_exp.bit_length() >= headroom_bits,
+        let fresh: Vec<bool> = active
+            .iter()
+            .map(|&u| match cache.entries.get(&u) {
+                Some(e) => {
+                    e.keep != keep_of(u as usize) || e.rand_exp.bit_length() >= headroom_bits
+                }
                 None => true,
             })
             .collect();
-        // One pooled pass over the users: fresh entries pay a full Paillier encryption,
-        // cached ones one squaring-free `c · h^t`. The workers only read the entries
-        // through the guard held by this thread.
+        // One pooled pass over the active users: fresh entries pay a full Paillier
+        // encryption, cached ones one squaring-free `c · h^t`. The workers only read
+        // the entries through the guard held by this thread.
         let entries = &cache.entries;
-        let results: Vec<(Ciphertext, Option<BigUint>)> =
-            self.runtime.par_map_wide_seeded(self.num_users, batch_seed, |u, rng| {
-                if fresh[u] {
-                    (self.paillier.public.encrypt(rng, &plaintext(u)), None)
-                } else {
-                    let entry = entries[u].as_ref().expect("non-fresh user has an entry");
-                    let (ct, t) = rerand.rerandomise(rng, &entry.current);
-                    (ct, Some(t))
-                }
-            });
+        let results: Vec<(Ciphertext, Option<BigUint>)> = self.runtime.par_map(&active, |i, &u| {
+            let mut rng = StdRng::from_seed(seeding::index_seed_wide(batch_seed, u as u64));
+            if fresh[i] {
+                (self.paillier.public.encrypt(&mut rng, &plaintext(u as usize)), None)
+            } else {
+                let entry = entries.get(&u).expect("non-fresh user has an entry");
+                let (ct, t) = rerand.rerandomise(&mut rng, &entry.current);
+                (ct, Some(t))
+            }
+        });
         let mut fresh_count = 0usize;
         let mut rerand_count = 0usize;
-        for (u, (ct, t)) in results.iter().enumerate() {
+        for (i, (ct, t)) in results.iter().enumerate() {
+            let u = active[i];
             match t {
                 None => {
                     fresh_count += 1;
-                    cache.entries[u] = Some(CacheEntry {
-                        keep: keeps[u],
-                        base: ct.clone(),
-                        current: ct.clone(),
-                        rand_exp: BigUint::zero(),
-                        table: None,
-                    });
+                    cache.entries.insert(
+                        u,
+                        CacheEntry {
+                            keep: keep_of(u as usize),
+                            base: ct.clone(),
+                            current: ct.clone(),
+                            rand_exp: BigUint::zero(),
+                            table: None,
+                        },
+                    );
                 }
                 Some(t) => {
                     rerand_count += 1;
-                    let entry = cache.entries[u].as_mut().expect("non-fresh user has an entry");
+                    let entry = cache.entries.get_mut(&u).expect("non-fresh user has an entry");
                     entry.current = ct.clone();
                     entry.rand_exp = entry.rand_exp.add(t);
                 }
@@ -666,11 +741,10 @@ impl PrivateWeightingProtocol {
         }
         cache.last_fresh = fresh_count;
         cache.last_rerandomised = rerand_count;
-        let users: Vec<CachedUserState> = cache
-            .entries
+        let users: Vec<CachedUserState> = active
             .iter()
-            .map(|entry| {
-                let e = entry.as_ref().expect("every user has an entry after this round");
+            .map(|u| {
+                let e = cache.entries.get(u).expect("every active user has an entry");
                 CachedUserState {
                     base: e.base.clone(),
                     table: e.table.clone(),
@@ -680,7 +754,7 @@ impl PrivateWeightingProtocol {
             .collect();
         drop(cache);
         let cts: Vec<Ciphertext> = results.into_iter().map(|(ct, _)| ct).collect();
-        (cts, Some(CachedRoundState { users, rerand }))
+        (active, cts, Some(CachedRoundState { users, rerand }))
     }
 
     /// Post-round cache invalidation after silo dropouts: any user with records in a
@@ -689,13 +763,9 @@ impl PrivateWeightingProtocol {
     /// lands after the fact; users untouched by the dropped silos keep their entries.)
     fn invalidate_users_of_dropped(&self, dropped: &[bool]) {
         let mut cache = self.cache.lock().expect("cache mutex poisoned");
-        for u in 0..self.num_users {
-            let affected =
-                dropped.iter().enumerate().any(|(s, &d)| d && self.silo_histograms[s][u] > 0);
-            if affected {
-                cache.entries[u] = None;
-            }
-        }
+        cache.entries.retain(|&u, _| {
+            !dropped.iter().enumerate().any(|(s, &d)| d && self.silo_histograms[s][u as usize] > 0)
+        });
     }
 
     /// Runs one weighting round (Protocol 1, step 2).
@@ -703,8 +773,11 @@ impl PrivateWeightingProtocol {
     /// * `clipped_deltas[s][u]` — silo `s`'s clipped model delta for user `u`
     ///   (`Δ̃_{s,u}` *before* weighting; empty when the user has no records in the silo).
     /// * `noises[s]` — the Gaussian noise vector `z_s` silo `s` adds.
-    /// * `sampled` — optional user-level sub-sampling mask; unsampled users' inverses are
-    ///   encrypted as zero (step 2.a), so their deltas drop out exactly.
+    /// * `sampled` — optional user-level sub-sampling [`SampleMask`]. Under a dense
+    ///   mask, unsampled users' inverses are encrypted as zero (step 2.a), so their
+    ///   deltas drop out exactly; under a sparse mask they are skipped outright — no
+    ///   ciphertext, no cache entry, no fold work — which yields the same aggregate bit
+    ///   for bit (an `Enc(0)` term adds exactly zero to every decrypted total).
     ///
     /// Returns the decoded aggregate `Σ_s (Σ_u w_{s,u} Δ̃_{s,u} + z_s)` plus per-phase
     /// timings.
@@ -712,7 +785,7 @@ impl PrivateWeightingProtocol {
         &self,
         clipped_deltas: &[Vec<Vec<f64>>],
         noises: &[Vec<f64>],
-        sampled: Option<&[bool]>,
+        sampled: Option<&SampleMask>,
         rng: &mut R,
     ) -> (Vec<f64>, RoundTimings) {
         assert_eq!(clipped_deltas.len(), self.num_silos, "one delta set per silo required");
@@ -726,7 +799,7 @@ impl PrivateWeightingProtocol {
         // caller's RNG parameterises the whole batch; per-user randomness is derived
         // from (seed, u), so the output is bitwise-identical at any thread count.
         let enc_span = trace::timed_span("protocol", "server_encryption");
-        let (encrypted_inverses, cached) = self.distribute_inverses(sampled, rng);
+        let (active, encrypted_inverses, cached) = self.distribute_inverses(sampled, rng);
         let server_encryption = enc_span.finish();
 
         // --- Steps 2.(b)-(c): silo-side encrypted weighting, secure aggregation of
@@ -736,6 +809,7 @@ impl PrivateWeightingProtocol {
         let (out, mut timings) = self.weighting_round_with_inverses(
             clipped_deltas,
             noises,
+            &active,
             &encrypted_inverses,
             dim,
             None,
@@ -768,7 +842,7 @@ impl PrivateWeightingProtocol {
         &self,
         clipped_deltas: &[Vec<Vec<f64>>],
         noises: &[Vec<f64>],
-        sampled: Option<&[bool]>,
+        sampled: Option<&SampleMask>,
         round: u64,
         rng: &mut R,
     ) -> (Vec<f64>, Vec<bool>, RoundTimings) {
@@ -780,7 +854,7 @@ impl PrivateWeightingProtocol {
         // Step 2.(a) is unchanged: the server encrypts (or re-randomises from cache)
         // before any silo drops.
         let enc_span = trace::timed_span("protocol", "server_encryption");
-        let (encrypted_inverses, cached) = self.distribute_inverses(sampled, rng);
+        let (active, encrypted_inverses, cached) = self.distribute_inverses(sampled, rng);
         let server_encryption = enc_span.finish();
 
         let dropped = self.fault_plan.dropped_silos(round, self.num_silos);
@@ -812,6 +886,7 @@ impl PrivateWeightingProtocol {
         let (mut out, mut timings) = self.weighting_round_with_inverses(
             clipped_deltas,
             noises,
+            &active,
             &encrypted_inverses,
             dim,
             Some(&dropped),
@@ -889,23 +964,35 @@ impl PrivateWeightingProtocol {
         let server_encryption = enc_span.finish();
 
         // Silo side and aggregation are identical to the plain round, using the chosen
-        // ciphertexts in place of the server-published inverses.
-        let (out, mut timings) =
-            self.weighting_round_with_inverses(clipped_deltas, noises, &chosen, dim, None, None);
+        // ciphertexts in place of the server-published inverses. Every user gets an OT
+        // offer (the whole point is hiding who was sampled), so all users are active.
+        let active: Vec<u32> = (0..self.num_users as u32).collect();
+        let (out, mut timings) = self.weighting_round_with_inverses(
+            clipped_deltas,
+            noises,
+            &active,
+            &chosen,
+            dim,
+            None,
+            None,
+        );
         timings.server_encryption = server_encryption;
         (out, selected_flags, timings)
     }
 
     /// Shared silo-side + aggregation logic of steps 2.(b)-(c), parameterised by the
-    /// per-user encrypted inverses actually distributed to the silos. When `dropped` is
-    /// given, the marked silos' cells (deltas and noise) are excluded from the streaming
-    /// fold — their reports never reach the server. When `cached` is given (the
-    /// cross-round cache path), per-user fixed-base tables anchor to the round-1 base
-    /// ciphertexts, so they survive re-randomisation and are reused across rounds.
+    /// round's active users and their encrypted inverses (aligned position for
+    /// position) as distributed to the silos. When `dropped` is given, the marked
+    /// silos' cells (deltas and noise) are excluded from the streaming fold — their
+    /// reports never reach the server. When `cached` is given (the cross-round cache
+    /// path), per-user fixed-base tables anchor to the round-1 base ciphertexts, so
+    /// they survive re-randomisation and are reused across rounds.
+    #[allow(clippy::too_many_arguments)]
     fn weighting_round_with_inverses(
         &self,
         clipped_deltas: &[Vec<Vec<f64>>],
         noises: &[Vec<f64>],
+        active: &[u32],
         encrypted_inverses: &[Ciphertext],
         dim: usize,
         dropped: Option<&[bool]>,
@@ -914,6 +1001,7 @@ impl PrivateWeightingProtocol {
         let n = &self.paillier.public.n;
         let n_squared = &self.paillier.public.n_squared;
         let rt = &*self.runtime;
+        debug_assert_eq!(active.len(), encrypted_inverses.len());
         let silo_span = trace::timed_span("protocol", "silo_weighting");
         for silo in 0..self.num_silos {
             assert_eq!(clipped_deltas[silo].len(), self.num_users, "per-user deltas required");
@@ -922,18 +1010,37 @@ impl PrivateWeightingProtocol {
                 assert_eq!(delta.len(), dim, "delta dimensionality mismatch");
             }
         }
+        // Per-silo participant lists: active users with records *and* a delta in this
+        // silo, as (active position, user id) pairs. `active` is ascending, so each
+        // list walks users in exactly the order the dense `0..|U|` scan did — the cell
+        // totals keep identical bits — while the fold below only ever touches the
+        // round's participants instead of the whole population per cell.
+        let participants: Vec<Vec<(usize, usize)>> = (0..self.num_silos)
+            .map(|silo| {
+                active
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &u)| {
+                        self.silo_histograms[silo][u as usize] > 0
+                            && !clipped_deltas[silo][u as usize].is_empty()
+                    })
+                    .map(|(i, &u)| (i, u as usize))
+                    .collect()
+            })
+            .collect();
         // The per-user scalar prefix `n_su · r_u · C_LCM mod n` is independent of the
-        // coordinate, so it is computed once per (silo, user) instead of once per
-        // (silo, user, coordinate); the SHA-based blinding-factor expansion runs on the
-        // pool.
-        let factors: Vec<BigUint> =
-            rt.par_map_range(self.num_users, |u| self.blinder.factor(u as u64));
+        // coordinate, so it is computed once per (silo, active user) instead of once
+        // per (silo, user, coordinate); the SHA-based blinding-factor expansion runs on
+        // the pool.
+        let factors: Vec<BigUint> = rt.par_map(active, |_, &u| self.blinder.factor(u as u64));
         let prefixes: Vec<Vec<BigUint>> = (0..self.num_silos)
             .map(|silo| {
-                (0..self.num_users)
-                    .map(|u| {
-                        let n_su = self.silo_histograms[silo][u];
-                        let p = mod_mul(&BigUint::from_u64(n_su), &factors[u], n);
+                active
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &u)| {
+                        let n_su = self.silo_histograms[silo][u as usize];
+                        let p = mod_mul(&BigUint::from_u64(n_su), &factors[i], n);
                         mod_mul(&p, &self.c_lcm, n)
                     })
                     .collect()
@@ -943,13 +1050,12 @@ impl PrivateWeightingProtocol {
         // coordinate) cell, so one exponentiation context per user is hoisted out of the
         // cell loop: for heavily-used bases it precomputes a fixed-base table (no
         // squarings per scalar_mul), and no per-cell Montgomery context is ever rebuilt.
-        let ctx_uses: Vec<usize> = (0..self.num_users)
-            .map(|u| {
-                dim * (0..self.num_silos)
-                    .filter(|&s| self.silo_histograms[s][u] > 0 && !clipped_deltas[s][u].is_empty())
-                    .count()
-            })
-            .collect();
+        let mut ctx_uses = vec![0usize; active.len()];
+        for plist in &participants {
+            for &(i, _) in plist {
+                ctx_uses[i] += dim;
+            }
+        }
         // All per-user contexts are alive for the whole region, and a fixed-base table
         // costs megabytes per user at paper-scale key sizes — so the tables are only
         // requested while the aggregate footprint stays within a fixed budget; beyond
@@ -965,13 +1071,13 @@ impl PrivateWeightingProtocol {
             participating.saturating_mul(table_bytes) <= FIXED_BASE_BUDGET_BYTES;
         let generic = engine_disabled();
         let n_bits = n.bit_length();
-        let evals: Vec<Option<InverseEval>> = rt.par_map_range(self.num_users, |u| {
-            (ctx_uses[u] > 0).then(|| {
-                let ct = &encrypted_inverses[u];
+        let evals: Vec<Option<InverseEval>> = rt.par_map_range(active.len(), |i| {
+            (ctx_uses[i] > 0).then(|| {
+                let ct = &encrypted_inverses[i];
                 if generic {
                     return InverseEval::Generic { base: ct.0.clone() };
                 }
-                if !tables_affordable || ctx_uses[u] < FIXED_BASE_TABLE_MIN_MULS {
+                if !tables_affordable || ctx_uses[i] < FIXED_BASE_TABLE_MIN_MULS {
                     return InverseEval::Fused { base: ct.0.clone() };
                 }
                 match cached {
@@ -987,7 +1093,7 @@ impl PrivateWeightingProtocol {
                     // `base_table[k] · h_table[rand_exp · k]` — same group element,
                     // same bits, no table rebuild.
                     Some(state) => {
-                        let user = &state.users[u];
+                        let user = &state.users[i];
                         let table = user.table.clone().unwrap_or_else(|| {
                             Arc::new(FixedBaseCtx::new(
                                 Arc::clone(self.paillier.public.ctx_n2()),
@@ -1011,13 +1117,13 @@ impl PrivateWeightingProtocol {
         // Persist tables built this round so later rounds skip the precomputation.
         if cached.is_some() {
             let mut cache = self.cache.lock().expect("cache mutex poisoned");
-            for (u, eval) in evals.iter().enumerate() {
+            for (i, eval) in evals.iter().enumerate() {
                 let table = match eval {
                     Some(InverseEval::Table(t)) => t,
                     Some(InverseEval::Shifted { base_table, .. }) => base_table,
                     _ => continue,
                 };
-                if let Some(entry) = cache.entries[u].as_mut() {
+                if let Some(entry) = cache.entries.get_mut(&active[i]) {
                     if entry.table.is_none() {
                         entry.table = Some(Arc::clone(table));
                     }
@@ -1055,12 +1161,10 @@ impl PrivateWeightingProtocol {
             // is modular multiplication, which commutes, so hoisting these terms out of
             // the running product leaves the cell total bit-identical.
             let mut fused: Vec<(BigUint, BigUint)> = Vec::new();
-            for (u, delta) in clipped_deltas[silo].iter().enumerate() {
-                if self.silo_histograms[silo][u] == 0 || delta.is_empty() {
-                    continue;
-                }
-                let scalar = mod_mul(&self.codec.encode(delta[j]), &prefixes[silo][u], n);
-                let eval = evals[u].as_ref().expect("evaluator built for participating user");
+            for &(i, u) in &participants[silo] {
+                let delta = &clipped_deltas[silo][u];
+                let scalar = mod_mul(&self.codec.encode(delta[j]), &prefixes[silo][i], n);
+                let eval = evals[i].as_ref().expect("evaluator built for participating user");
                 let term = match eval {
                     InverseEval::Generic { base } => mod_pow(base, &scalar, n_squared),
                     InverseEval::Fused { base } => {
@@ -1140,13 +1244,13 @@ impl PrivateWeightingProtocol {
         &self,
         clipped_deltas: &[Vec<Vec<f64>>],
         noises: &[Vec<f64>],
-        sampled: Option<&[bool]>,
+        sampled: Option<&SampleMask>,
     ) -> Vec<f64> {
         let dim = noises[0].len();
         let mut out = vec![0.0; dim];
         for silo in 0..self.num_silos {
             for (u, delta) in clipped_deltas[silo].iter().enumerate() {
-                let keep = sampled.is_none_or(|s| s[u]);
+                let keep = sampled.is_none_or(|s| s.contains(u));
                 let n_su = self.silo_histograms[silo][u];
                 if !keep || n_su == 0 || delta.is_empty() || self.user_totals[u] == 0 {
                     continue;
@@ -1170,7 +1274,7 @@ impl PrivateWeightingProtocol {
         &self,
         clipped_deltas: &[Vec<Vec<f64>>],
         noises: &[Vec<f64>],
-        sampled: Option<&[bool]>,
+        sampled: Option<&SampleMask>,
         dropped: &[bool],
     ) -> Vec<f64> {
         assert_eq!(dropped.len(), self.num_silos, "one dropout flag per silo required");
@@ -1181,7 +1285,7 @@ impl PrivateWeightingProtocol {
                 continue;
             }
             for (u, delta) in clipped_deltas[silo].iter().enumerate() {
-                let keep = sampled.is_none_or(|s| s[u]);
+                let keep = sampled.is_none_or(|s| s.contains(u));
                 let n_su = self.silo_histograms[silo][u];
                 if !keep || n_su == 0 || delta.is_empty() || self.user_totals[u] == 0 {
                     continue;
@@ -1268,7 +1372,7 @@ mod tests {
         let histogram = small_histogram();
         let protocol = PrivateWeightingProtocol::setup(&histogram, &test_config(), &mut rng);
         let (deltas, noises) = deltas_and_noise(&histogram, 3, 4);
-        let sampled = vec![true, false, true, false];
+        let sampled = SampleMask::from_dense(vec![true, false, true, false]);
         let (secure, _) = protocol.weighting_round(&deltas, &noises, Some(&sampled), &mut rng);
         let reference = protocol.plaintext_reference(&deltas, &noises, Some(&sampled));
         for (a, b) in secure.iter().zip(reference.iter()) {
@@ -1353,7 +1457,8 @@ mod tests {
         assert!((sampling.probability() - 0.5).abs() < 1e-12);
         let (secure, flags, _) = protocol
             .weighting_round_with_oblivious_subsampling(&deltas, &noises, &sampling, &mut rng);
-        let reference = protocol.plaintext_reference(&deltas, &noises, Some(&flags));
+        let mask = SampleMask::from_dense(flags);
+        let reference = protocol.plaintext_reference(&deltas, &noises, Some(&mask));
         for (a, b) in secure.iter().zip(reference.iter()) {
             assert!((a - b).abs() < 1e-6, "{a} vs {b}");
         }
@@ -1557,8 +1662,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(95);
         let protocol = PrivateWeightingProtocol::setup(&histogram, &test_config(), &mut rng);
         let (deltas, noises) = deltas_and_noise(&histogram, 3, 96);
-        let all = vec![true; 4];
-        let half = vec![true, false, true, false];
+        let all = SampleMask::from_dense(vec![true; 4]);
+        let half = SampleMask::from_dense(vec![true, false, true, false]);
 
         let _ = protocol.weighting_round(&deltas, &noises, Some(&all), &mut rng);
         assert_eq!(protocol.round_cache_stats(), (4, 0), "first round encrypts everyone");
@@ -1646,5 +1751,84 @@ mod tests {
                 && delayed_timings.silo_weighting >= Duration::from_millis(120),
             "delayed round must account 3 × 40 ms of straggler lateness"
         );
+    }
+
+    fn wide_histogram() -> Vec<Vec<usize>> {
+        // 2 silos, 13 users; user 11 holds no records anywhere.
+        vec![
+            vec![1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1],
+            vec![2, 0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 0, 1],
+        ]
+    }
+
+    #[test]
+    fn sparse_and_dense_masks_agree_bitwise_across_rounds() {
+        // The tentpole determinism oracle at unit scale: the same multi-round run under
+        // the sparse index-list mask and under its densified copy must produce
+        // bit-identical aggregates (cross-round cache interplay included), and both
+        // must match the plaintext reference.
+        let histogram = wide_histogram();
+        let mask = SampleMask::from_sorted_indices(13, vec![2, 7, 11]);
+        let run = |mask: &SampleMask| {
+            let mut rng = StdRng::seed_from_u64(61);
+            let protocol = PrivateWeightingProtocol::setup(&histogram, &test_config(), &mut rng);
+            let mut rounds = Vec::new();
+            for round in 0..3u64 {
+                let (deltas, noises) = deltas_and_noise(&histogram, 3, 62 + round);
+                let (out, _) = protocol.weighting_round(&deltas, &noises, Some(mask), &mut rng);
+                rounds.push(out.iter().map(|v| v.to_bits()).collect::<Vec<u64>>());
+            }
+            rounds
+        };
+        let sparse_rounds = run(&mask);
+        assert_eq!(sparse_rounds, run(&mask.densified()), "mask layout must not change bits");
+        let mut rng = StdRng::seed_from_u64(61);
+        let protocol = PrivateWeightingProtocol::setup(&histogram, &test_config(), &mut rng);
+        for round in 0..3u64 {
+            let (deltas, noises) = deltas_and_noise(&histogram, 3, 62 + round);
+            let (out, _) = protocol.weighting_round(&deltas, &noises, Some(&mask), &mut rng);
+            let reference = protocol.plaintext_reference(&deltas, &noises, Some(&mask));
+            for (a, b) in out.iter().zip(reference.iter()) {
+                assert!((a - b).abs() < 1e-6, "round {round}: secure {a} vs plaintext {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_rounds_materialise_only_sampled_state() {
+        if fresh_encrypt_forced() || crate::sampling::dense_mask_forced() {
+            return; // both bypass knobs deliberately change the stats pinned below
+        }
+        let histogram = wide_histogram();
+        let mut rng = StdRng::seed_from_u64(71);
+        let protocol = PrivateWeightingProtocol::setup(&histogram, &test_config(), &mut rng);
+        let (deltas, noises) = deltas_and_noise(&histogram, 3, 72);
+        let mask = SampleMask::from_sorted_indices(13, vec![2, 7, 11]);
+        assert!(mask.is_sparse());
+
+        // Round 1: only the sampled users with records encrypt — user 11 holds no
+        // records and costs neither a ciphertext nor a cache entry.
+        let _ = protocol.weighting_round(&deltas, &noises, Some(&mask), &mut rng);
+        assert_eq!(protocol.round_cache_stats(), (2, 0));
+        assert_eq!(protocol.cached_entry_count(), 2);
+        // Round 2: both served from cache.
+        let _ = protocol.weighting_round(&deltas, &noises, Some(&mask), &mut rng);
+        assert_eq!(protocol.round_cache_stats(), (0, 2));
+
+        // A different sample: newcomers encrypt fresh; leavers keep their lazy entries
+        // (their cached plaintext is still the real inverse)…
+        let other = SampleMask::from_sorted_indices(13, vec![0, 4]);
+        assert!(other.is_sparse());
+        let _ = protocol.weighting_round(&deltas, &noises, Some(&other), &mut rng);
+        assert_eq!(protocol.round_cache_stats(), (2, 0));
+        assert_eq!(protocol.cached_entry_count(), 4);
+        // …so re-entering users re-randomise instead of re-encrypting.
+        let (out, _) = protocol.weighting_round(&deltas, &noises, Some(&mask), &mut rng);
+        assert_eq!(protocol.round_cache_stats(), (0, 2));
+        let reference = protocol.plaintext_reference(&deltas, &noises, Some(&mask));
+        for (a, b) in out.iter().zip(reference.iter()) {
+            assert!((a - b).abs() < 1e-6, "secure {a} vs plaintext {b}");
+        }
+        assert!(protocol.cached_state_bytes() > 0);
     }
 }

@@ -9,9 +9,10 @@
 
 use crate::algorithms::{self, group, round_seed};
 use crate::config::{FlConfig, Method, WeightingStrategy};
+use crate::sampling::SampleMask;
 use crate::weighting::WeightMatrix;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use uldp_accounting::{Accountant, AlgorithmPrivacy};
@@ -98,7 +99,9 @@ pub struct Trainer {
     /// The user-sampling mask currently in force (only with `user_sampling < 1.0`).
     /// Held for [`FlConfig::resample_every`] consecutive rounds before being redrawn,
     /// which keeps Protocol 1's cross-round ciphertext cache hot between redraws.
-    cached_mask: Option<Vec<bool>>,
+    /// Drawn by inversion-based Poisson sampling ([`SampleMask::poisson`]) — `O(q·|U|)`
+    /// RNG draws and memory, not one Bernoulli trial per user.
+    cached_mask: Option<SampleMask>,
     rng: StdRng,
     runtime: Arc<Runtime>,
 }
@@ -214,28 +217,33 @@ impl Trainer {
             }
             Method::UldpAvg { .. } | Method::UldpSgd { .. } => {
                 let q = self.config.user_sampling;
-                let (weights, effective_q) = if q < 1.0 {
+                let effective_q = if q < 1.0 {
                     // Redraw the mask on its schedule (`resample_every`, default: every
                     // round); between redraws the held mask is reused verbatim, so the
                     // secure path's per-user plaintexts — and with them Protocol 1's
-                    // ciphertext cache — stay unchanged.
-                    if self.cached_mask.is_none() || round.is_multiple_of(self.config.resample_every) {
-                        let sampled: Vec<bool> =
-                            (0..self.dataset.num_users).map(|_| self.rng.gen_bool(q)).collect();
-                        self.cached_mask = Some(sampled);
+                    // ciphertext cache — stay unchanged. The draw walks geometric gaps
+                    // (one uniform per *sampled* user), so a sparse round over a large
+                    // population never pays a per-user Bernoulli pass.
+                    if self.cached_mask.is_none()
+                        || round.is_multiple_of(self.config.resample_every)
+                    {
+                        self.cached_mask =
+                            Some(SampleMask::poisson(&mut self.rng, self.dataset.num_users, q));
                     }
-                    let sampled = self.cached_mask.as_ref().expect("mask drawn above");
-                    (self.weights.masked_by_sampling(sampled), q)
+                    q
                 } else {
-                    (self.weights.clone(), 1.0)
+                    self.cached_mask = None;
+                    1.0
                 };
+                let mask = self.cached_mask.as_ref();
                 if matches!(self.config.method, Method::UldpAvg { .. }) {
                     algorithms::uldp_avg::run_round(
                         &rt,
                         &mut self.model,
                         &self.dataset,
                         &self.config,
-                        &weights,
+                        &self.weights,
+                        mask,
                         effective_q,
                         seed,
                     );
@@ -245,7 +253,8 @@ impl Trainer {
                         &mut self.model,
                         &self.dataset,
                         &self.config,
-                        &weights,
+                        &self.weights,
+                        mask,
                         effective_q,
                         seed,
                     );

@@ -412,8 +412,13 @@ impl Runtime {
 
     /// The pool to use for a region of `n` items, or `None` when the region should run
     /// inline (sequential runtime, trivial size, or already on a worker thread).
+    ///
+    /// The `threads < 2` arm is deliberately explicit even though a 1-thread runtime
+    /// never constructs a pool: dispatching to a hypothetical 1-worker pool would pay
+    /// cross-thread hand-off for zero parallelism, and the inline path is the
+    /// bit-for-bit reference all pooled runs must reproduce anyway.
     fn usable_pool(&self, n: usize) -> Option<&Pool> {
-        if n < 2 || pool::on_worker_thread() {
+        if self.threads < 2 || n < 2 || pool::on_worker_thread() {
             return None;
         }
         self.pool.as_ref()

@@ -5,7 +5,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use uldp_fl::core::WeightMatrix;
-use uldp_fl::core::{PrivateWeightingProtocol, ProtocolConfig, WeightingStrategy};
+use uldp_fl::core::{PrivateWeightingProtocol, ProtocolConfig, SampleMask, WeightingStrategy};
 use uldp_fl::datasets::heart_disease::{self, HeartDiseaseConfig};
 use uldp_fl::datasets::Allocation;
 
@@ -115,7 +115,7 @@ fn subsampled_protocol_round_matches_masked_plaintext() {
     let histogram = vec![vec![2usize, 3, 1, 2], vec![1, 2, 4, 0]];
     let protocol = PrivateWeightingProtocol::setup(&histogram, &protocol_config(), &mut rng);
     let (deltas, noises) = random_deltas(&histogram, 5, &mut rng);
-    let sampled = vec![true, false, false, true];
+    let sampled = SampleMask::from_dense(vec![true, false, false, true]);
     let (secure, _) = protocol.weighting_round(&deltas, &noises, Some(&sampled), &mut rng);
     let plaintext = protocol.plaintext_reference(&deltas, &noises, Some(&sampled));
     for (a, b) in secure.iter().zip(plaintext.iter()) {

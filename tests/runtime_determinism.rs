@@ -12,8 +12,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use uldp_fl::core::{
-    FlConfig, Method, PrivateWeightingProtocol, ProtocolConfig, Trainer, TrainingHistory,
-    WeightingStrategy,
+    FlConfig, Method, PrivateWeightingProtocol, ProtocolConfig, SampleMask, Trainer,
+    TrainingHistory, WeightingStrategy,
 };
 use uldp_fl::datasets::creditcard::{self, CreditcardConfig};
 use uldp_fl::ml::LinearClassifier;
@@ -185,6 +185,74 @@ fn protocol_round_is_bitwise_identical_across_threads_and_chunks() {
 }
 
 #[test]
+fn sparse_and_dense_masks_agree_bitwise_across_threads_and_chunks() {
+    // The dense-vs-sparse determinism oracle on the structure grid: 3 of 13 users
+    // sampled keeps the mask below the ¼ density threshold (sparse index-list
+    // layout), and `densified()` forces the dense flag layout of the same selection.
+    // Every (threads, chunk) grid point must produce ONE bit pattern for both
+    // representations, across two rounds so the cross-round cache (fresh round 1,
+    // re-randomised round 2, lazily materialised under the sparse mask) is on the
+    // grid too.
+    let histogram: Vec<Vec<usize>> = vec![
+        vec![1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1],
+        vec![2, 0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 0, 1],
+    ];
+    let mask = SampleMask::from_sorted_indices(13, vec![2, 7, 11]);
+    let run = |threads: usize, chunk_size: usize, mask: &SampleMask| {
+        let mut rng = StdRng::seed_from_u64(93);
+        let config = ProtocolConfig {
+            paillier_bits: 256,
+            dh_bits: 128,
+            n_max: 16,
+            threads,
+            chunk_size,
+            ..Default::default()
+        };
+        let protocol = PrivateWeightingProtocol::setup(&histogram, &config, &mut rng);
+        let dim = 4;
+        let mut out = Vec::new();
+        for _ in 0..2 {
+            let deltas: Vec<Vec<Vec<f64>>> = histogram
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|&c| {
+                            if c == 0 {
+                                Vec::new()
+                            } else {
+                                (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let noises: Vec<Vec<f64>> = histogram
+                .iter()
+                .map(|_| (0..dim).map(|_| rng.gen_range(-0.01..0.01)).collect())
+                .collect();
+            let (agg, _) = protocol.weighting_round(&deltas, &noises, Some(mask), &mut rng);
+            out.extend(agg.iter().map(|v| v.to_bits()));
+        }
+        out
+    };
+    let reference = run(1, usize::MAX, &mask);
+    for threads in [1usize, 2, 4] {
+        for chunk in [1usize, 3, usize::MAX] {
+            assert_eq!(
+                run(threads, chunk, &mask),
+                reference,
+                "sparse mask diverged at threads={threads} chunk={chunk}"
+            );
+            assert_eq!(
+                run(threads, chunk, &mask.densified()),
+                reference,
+                "dense mask diverged at threads={threads} chunk={chunk}"
+            );
+        }
+    }
+}
+
+#[test]
 fn swapping_the_runtime_after_setup_preserves_bits() {
     // The same protocol instance must produce identical rounds before and after a
     // with_runtime swap (what the figure binaries rely on for their speedup measurement).
@@ -223,6 +291,41 @@ proptest! {
         let reference = history_bits(&train_with_structure(method, 1, 1, usize::MAX, seed, 2));
         let run = history_bits(&train_with_structure(method, threads, shards, chunk, seed, 2));
         prop_assert_eq!(run, reference);
+    }
+}
+
+// Property test: the inversion-based Poisson sampler is a pure function of its seeded
+// RNG stream — same seed, same mask — and consumes exactly `sampled_count() + 1`
+// uniform draws for 0 < q < 1, so everything drawn after the mask is independent of
+// how many users exist (the property the O(q·|U|) round path relies on to keep sparse
+// and dense runs on one RNG stream).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn poisson_sampler_stream_is_deterministic_and_exactly_counted(
+        seed in any::<u64>(),
+        num_users in 1usize..5000,
+        q_mil in 1u32..1000,
+    ) {
+        let q = q_mil as f64 / 1000.0;
+        let mask_a = SampleMask::poisson(&mut StdRng::seed_from_u64(seed), num_users, q);
+        let mask_b = SampleMask::poisson(&mut StdRng::seed_from_u64(seed), num_users, q);
+        prop_assert_eq!(&mask_a, &mask_b);
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mask = SampleMask::poisson(&mut rng, num_users, q);
+        let after_sampling = rng.gen::<u64>();
+        let mut reference = StdRng::seed_from_u64(seed);
+        for _ in 0..mask.sampled_count() + 1 {
+            let _: f64 = reference.gen();
+        }
+        prop_assert_eq!(after_sampling, reference.gen::<u64>());
+
+        // The selection itself is strictly sorted and in range.
+        let indices: Vec<usize> = mask.iter().collect();
+        prop_assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(indices.iter().all(|&u| u < num_users));
     }
 }
 

@@ -21,7 +21,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use uldp_fl::core::algorithms::uldp_avg;
 use uldp_fl::core::{
-    ByzantineStrategy, FaultPlan, FlConfig, Method, Scenario, Trainer, TrainingHistory,
+    ByzantineStrategy, FaultPlan, FlConfig, Method, SampleMask, Scenario, Trainer, TrainingHistory,
     WeightMatrix, WeightingStrategy,
 };
 use uldp_fl::datasets::creditcard::{self, CreditcardConfig};
@@ -97,6 +97,77 @@ fn every_catalogue_scenario_is_bitwise_identical_across_the_runtime_grid() {
 }
 
 #[test]
+fn sparse_and_dense_masks_train_identically_across_the_scenario_catalogue() {
+    // Dense-vs-sparse oracle on the training side: a round under a sub-sampling mask
+    // must be a function of the *selection*, never of the mask's representation. 3 of
+    // 20 users sampled keeps the index-list layout below the ¼ density threshold;
+    // `densified()` is the same selection as dense flags. Every catalogue scenario
+    // (dropouts, stragglers, byzantine corruption, skewed allocations) must produce
+    // bitwise-identical parameters under both layouts, on a pooled structure point as
+    // well as the sequential reference.
+    let mask = SampleMask::from_sorted_indices(20, vec![3, 11, 17]);
+    let dense = mask.densified();
+    for scenario in &Scenario::catalogue() {
+        let run = |threads: usize, shards: usize, chunk: usize, mask: &SampleMask| {
+            let mut rng = StdRng::seed_from_u64(29);
+            let dataset = creditcard::generate(
+                &mut rng,
+                &CreditcardConfig {
+                    train_records: 200,
+                    test_records: 40,
+                    num_users: 20,
+                    allocation: scenario.allocation(),
+                    ..Default::default()
+                },
+            );
+            let mut cfg = FlConfig {
+                method: Method::UldpAvg { weighting: WeightingStrategy::RecordProportional },
+                sigma: 1.0,
+                clip_bound: 1.0,
+                local_lr: 0.2,
+                local_epochs: 2,
+                global_lr: 2.0,
+                ..Default::default()
+            };
+            cfg.fault_plan = scenario.plan;
+            let weights = WeightMatrix::from_histogram(
+                WeightingStrategy::RecordProportional,
+                &dataset.histogram(),
+            );
+            let rt = Runtime::new(threads);
+            let mut cfg2 = cfg.clone();
+            cfg2.shards = shards;
+            cfg2.chunk_size = chunk;
+            let mut model: Box<dyn Model> =
+                Box::new(LinearClassifier::new(dataset.feature_dim(), 2));
+            uldp_avg::run_round(&rt, &mut model, &dataset, &cfg2, &weights, Some(mask), 0.15, 3);
+            model.parameters().iter().map(|p| p.to_bits()).collect::<Vec<u64>>()
+        };
+        let reference = run(1, 1, usize::MAX, &mask);
+        assert_eq!(
+            reference,
+            run(1, 1, usize::MAX, &dense),
+            "scenario {}: dense mask diverged sequentially",
+            scenario.name
+        );
+        for &(threads, shards, chunk) in &[(2usize, 2usize, 3usize), (4, 3, usize::MAX)] {
+            assert_eq!(
+                reference,
+                run(threads, shards, chunk, &mask),
+                "scenario {}: sparse mask diverged at threads={threads}",
+                scenario.name
+            );
+            assert_eq!(
+                reference,
+                run(threads, shards, chunk, &dense),
+                "scenario {}: dense mask diverged at threads={threads}",
+                scenario.name
+            );
+        }
+    }
+}
+
+#[test]
 fn faulted_rounds_differ_from_clean_rounds() {
     // The oracle would be vacuous if the fault injection were a no-op: dropout and
     // byzantine scenarios must actually change the trajectory relative to baseline.
@@ -141,7 +212,7 @@ fn dropout_round_equals_reweighted_round_over_survivors() {
     let mut faulted_cfg = base_cfg.clone();
     faulted_cfg.fault_plan = plan;
     let mut faulted: Box<dyn Model> = Box::new(LinearClassifier::new(dataset.feature_dim(), 2));
-    uldp_avg::run_round(&rt, &mut faulted, &dataset, &faulted_cfg, &weights, 1.0, round_seed);
+    uldp_avg::run_round(&rt, &mut faulted, &dataset, &faulted_cfg, &weights, None, 1.0, round_seed);
 
     let mut reference_cfg = base_cfg;
     reference_cfg.global_lr *= n as f64 / surviving as f64;
@@ -154,7 +225,16 @@ fn dropout_round_equals_reweighted_round_over_survivors() {
         }
     }
     let mut reference: Box<dyn Model> = Box::new(LinearClassifier::new(dataset.feature_dim(), 2));
-    uldp_avg::run_round(&rt, &mut reference, &dataset, &reference_cfg, &zeroed, 1.0, round_seed);
+    uldp_avg::run_round(
+        &rt,
+        &mut reference,
+        &dataset,
+        &reference_cfg,
+        &zeroed,
+        None,
+        1.0,
+        round_seed,
+    );
 
     for (a, b) in faulted.parameters().iter().zip(reference.parameters().iter()) {
         assert!(
@@ -194,7 +274,7 @@ fn byzantine_influence_is_bounded_by_the_clipping_norm() {
         let mut cfg = base_cfg.clone();
         cfg.fault_plan = plan;
         let mut model: Box<dyn Model> = Box::new(LinearClassifier::new(dataset.feature_dim(), 2));
-        uldp_avg::run_round(&rt, &mut model, &dataset, &cfg, &weights, 1.0, round_seed);
+        uldp_avg::run_round(&rt, &mut model, &dataset, &cfg, &weights, None, 1.0, round_seed);
         model.parameters().to_vec()
     };
     let honest = run(FaultPlan::none());
