@@ -133,6 +133,11 @@ pub struct FlConfig {
     /// there would serialise typical silo counts); an explicit non-zero value still
     /// wins. Training results are bitwise-identical at any setting.
     pub chunk_size: usize,
+    /// Depth of the round pipeline (in-flight evaluation / decryption slots): the
+    /// trainer and Protocol 1 overlap round `t`'s tail stage with round `t+1`'s compute.
+    /// `0` reads `ULDP_PIPELINE_DEPTH`, falling back to 2; `ULDP_PIPELINE=0` forces the
+    /// sequential path regardless. Results are bitwise-identical at any setting.
+    pub pipeline_depth: usize,
     /// Deterministic fault injection for the round ([`crate::scenario`]): dropouts,
     /// stragglers and byzantine updates. Honoured by ULDP-AVG / ULDP-SGD (Protocol 1
     /// carries its own copy in [`crate::protocol::ProtocolConfig`]); the silo-level
@@ -160,6 +165,7 @@ impl Default for FlConfig {
             threads: 0,
             shards: 0,
             chunk_size: 0,
+            pipeline_depth: 0,
             fault_plan: FaultPlan::none(),
         }
     }

@@ -97,7 +97,7 @@ use uldp_crypto::masking::MaskSeed;
 use uldp_crypto::oblivious_transfer::OneOutOfP;
 use uldp_crypto::paillier::{Ciphertext, PaillierKeyPair, PaillierPublicKey, RerandCtx};
 use uldp_crypto::{FixedPointCodec, MultiplicativeBlinder};
-use uldp_runtime::{seeding, Runtime};
+use uldp_runtime::{seeding, CloseOnDrop, Handoff, Runtime};
 use uldp_telemetry::{metrics, trace};
 
 /// Cryptographic parameters of the protocol.
@@ -135,6 +135,14 @@ pub struct ProtocolConfig {
     /// same bypass process-wide; decrypted aggregates are bitwise-identical either way
     /// (CI diffs them), only the per-round `server_encryption` cost changes.
     pub fresh_encrypt: bool,
+    /// Depth of the multi-round pipeline driven by
+    /// [`PrivateWeightingProtocol::run_rounds`]: how many rounds the fold stage
+    /// (steps 2.a–2.b) may run ahead of the decrypt stage (step 2.c). `0` reads
+    /// `ULDP_PIPELINE_DEPTH` (default 2, classic double buffering); the `ULDP_PIPELINE`
+    /// kill-switch forces the sequential path regardless. The pipeline reorders *when*
+    /// work happens, never what it computes — aggregates are bitwise-identical at any
+    /// depth.
+    pub pipeline_depth: usize,
 }
 
 /// Default cells-per-chunk of the protocol's streaming fold when neither
@@ -258,6 +266,7 @@ impl Default for ProtocolConfig {
             chunk_size: 0,
             fault_plan: FaultPlan::none(),
             fresh_encrypt: false,
+            pipeline_depth: 0,
         }
     }
 }
@@ -278,6 +287,7 @@ impl ProtocolConfig {
             chunk_size: 0,
             fault_plan: FaultPlan::none(),
             fresh_encrypt: false,
+            pipeline_depth: 0,
         }
     }
 }
@@ -318,6 +328,56 @@ impl RoundTimings {
     pub fn total(&self) -> Duration {
         self.server_encryption + self.silo_weighting + self.aggregation
     }
+}
+
+/// One round's inputs for [`PrivateWeightingProtocol::run_rounds`]: the arguments the
+/// per-round entry points take, bundled so a replay can be described up front and
+/// driven through the pipeline.
+pub struct RoundInput<'a> {
+    /// `clipped_deltas[s][u]` — silo `s`'s clipped model delta for user `u` (empty when
+    /// the user has no records in the silo).
+    pub clipped_deltas: &'a [Vec<Vec<f64>>],
+    /// `noises[s]` — the Gaussian noise vector silo `s` adds.
+    pub noises: &'a [Vec<f64>],
+    /// Optional user-level sub-sampling mask.
+    pub sampled: Option<&'a SampleMask>,
+    /// `Some(round)` runs the round under the configured [`ProtocolConfig::fault_plan`],
+    /// drawing round `round`'s fault set. Rounds whose draw drops a silo drain the
+    /// pipeline and run sequentially (cache invalidation must stay ordered); `None`
+    /// ignores the plan entirely, like [`PrivateWeightingProtocol::weighting_round`].
+    pub faulted: Option<u64>,
+}
+
+impl<'a> RoundInput<'a> {
+    /// A plain, fault-free, unsampled round.
+    pub fn new(clipped_deltas: &'a [Vec<Vec<f64>>], noises: &'a [Vec<f64>]) -> Self {
+        RoundInput { clipped_deltas, noises, sampled: None, faulted: None }
+    }
+}
+
+/// One round's outputs from [`PrivateWeightingProtocol::run_rounds`] — exactly what the
+/// matching sequential entry point returns, bit for bit.
+pub struct RoundOutput {
+    /// The decoded aggregate `Σ_s (Σ_u w_{s,u} Δ̃_{s,u} + z_s)` (re-weighted by
+    /// `|S| / |S_surviving|` on faulted rounds).
+    pub aggregate: Vec<f64>,
+    /// Dropout mask in silo order (faulted rounds only).
+    pub dropped: Option<Vec<bool>>,
+    /// Per-phase wall-clocks. Under overlap the phases of different rounds run
+    /// concurrently, so summed phase times can exceed the replay's wall-clock.
+    pub timings: RoundTimings,
+}
+
+/// What the pipeline's fold stage hands the decrypt stage for one round: the folded
+/// per-coordinate totals plus everything needed to finish the round without touching
+/// shared mutable state.
+struct DecryptJob {
+    totals: Vec<Ciphertext>,
+    server_encryption: Duration,
+    silo_weighting: Duration,
+    /// `|S| / |S_surviving|` (always 1.0 for pipelined rounds — dropouts drain).
+    reweight: f64,
+    dropped: Option<Vec<bool>>,
 }
 
 /// Private user-level sub-sampling via 1-out-of-P oblivious transfer (Section 4.1).
@@ -406,6 +466,9 @@ pub struct PrivateWeightingProtocol {
     /// Bypass the cache ([`ProtocolConfig::fresh_encrypt`] or `ULDP_FRESH_ENCRYPT=1`):
     /// every round freshly encrypts all blinded inverses.
     fresh_encrypt: bool,
+    /// Resolved multi-round pipeline depth ([`ProtocolConfig::pipeline_depth`] /
+    /// `ULDP_PIPELINE_DEPTH` / `ULDP_PIPELINE`); `0` means sequential.
+    pipeline_depth: usize,
 }
 
 impl PrivateWeightingProtocol {
@@ -528,6 +591,7 @@ impl PrivateWeightingProtocol {
                 last_rerandomised: 0,
             }),
             fresh_encrypt: config.fresh_encrypt || fresh_encrypt_forced(),
+            pipeline_depth: uldp_runtime::resolve_pipeline_depth(config.pipeline_depth),
         }
     }
 
@@ -914,6 +978,221 @@ impl PrivateWeightingProtocol {
         (out, dropped, timings)
     }
 
+    /// Runs a multi-round replay through the round pipeline at the protocol's resolved
+    /// depth ([`ProtocolConfig::pipeline_depth`] / `ULDP_PIPELINE_DEPTH`, with the
+    /// `ULDP_PIPELINE` kill-switch forcing the sequential path).
+    ///
+    /// While the server decrypts round `t`'s per-coordinate totals (step 2.c), the pool
+    /// is already folding round `t+1`'s cells — including its `RoundCryptoCache`
+    /// re-randomisation batch (step 2.a). The stages commute because they touch
+    /// disjoint state: the fold writes only ciphertext totals derived from the public
+    /// key, the decrypt reads only already-folded totals with the secret key. Every
+    /// caller-RNG draw happens on the submitting thread in round order (one 256-bit
+    /// seed per round, exactly as the sequential loop draws it), so seed derivation
+    /// never depends on overlap and the outputs are bitwise-identical to
+    /// [`PrivateWeightingProtocol::weighting_round`] run in a loop, at every
+    /// `(threads × shards × chunk × depth)` point.
+    ///
+    /// Rounds whose [`FaultPlan`] drops a silo force a pipeline drain: their dropout
+    /// invalidates cache entries, which must not race a later round's re-randomisation
+    /// batch already in flight, so the pipeline completes all queued decrypts and runs
+    /// the faulted round inline before refilling. Fault-free rounds (including rounds
+    /// with stragglers only) stay overlapped.
+    pub fn run_rounds<R: Rng + ?Sized>(
+        &self,
+        rounds: &[RoundInput<'_>],
+        rng: &mut R,
+    ) -> Vec<RoundOutput> {
+        self.run_rounds_with_depth(rounds, self.pipeline_depth, rng)
+    }
+
+    /// [`PrivateWeightingProtocol::run_rounds`] at an explicit pipeline depth:
+    /// `0` runs the sequential reference loop, `d ≥ 1` lets the fold stage run up to
+    /// `d` rounds ahead of the decrypt stage. Exposed so tests and benches can compare
+    /// depths without touching the process environment.
+    pub fn run_rounds_with_depth<R: Rng + ?Sized>(
+        &self,
+        rounds: &[RoundInput<'_>],
+        depth: usize,
+        rng: &mut R,
+    ) -> Vec<RoundOutput> {
+        if depth == 0 || rounds.len() < 2 {
+            return rounds.iter().map(|input| self.run_round_sequential(input, rng)).collect();
+        }
+        let mut outputs: Vec<Option<RoundOutput>> = (0..rounds.len()).map(|_| None).collect();
+        // Two bounded queues per replay: `jobs` carries folded totals forward (its
+        // capacity is the pipeline depth — the double buffer), `finished` carries
+        // decrypted rounds back (capacity = replay length, so the decrypt stage
+        // never blocks on the producer). Both deliver strictly in round order.
+        let jobs: Handoff<DecryptJob> = Handoff::new(depth);
+        let finished: Handoff<RoundOutput> = Handoff::new(rounds.len());
+        std::thread::scope(|scope| {
+            let (jobs, finished) = (&jobs, &finished);
+            scope.spawn(move || {
+                // A panic mid-decrypt must close both queues, or the producer would
+                // block forever against a full `jobs` queue.
+                let _close_finished = CloseOnDrop(finished);
+                let _close_jobs = CloseOnDrop(jobs);
+                while let Some((seq, job)) = jobs.pop() {
+                    let (mut aggregate, aggregation) = self.decrypt_totals(&job.totals);
+                    if job.reweight != 1.0 {
+                        for v in aggregate.iter_mut() {
+                            *v *= job.reweight;
+                        }
+                    }
+                    metrics::PIPELINE_INFLIGHT.sub(1);
+                    let out = RoundOutput {
+                        aggregate,
+                        dropped: job.dropped,
+                        timings: RoundTimings {
+                            server_encryption: job.server_encryption,
+                            silo_weighting: job.silo_weighting,
+                            aggregation,
+                        },
+                    };
+                    if !finished.push(seq, out) {
+                        break;
+                    }
+                }
+            });
+            let mut submitted = 0usize;
+            let mut collected = 0usize;
+            for (t, input) in rounds.iter().enumerate() {
+                let drains = input.faulted.is_some_and(|round| {
+                    self.fault_plan.dropped_silos(round, self.num_silos).iter().any(|&d| d)
+                });
+                if drains {
+                    // Dropouts invalidate cache entries; draining first keeps the
+                    // invalidation ordered after every in-flight round, exactly as the
+                    // sequential loop orders it.
+                    let wait = trace::span("protocol", "pipeline_wait").arg("drain_at", t);
+                    while collected < submitted {
+                        let (seq, out) =
+                            finished.pop().expect("decrypt stage died with rounds queued");
+                        outputs[seq as usize] = Some(out);
+                        collected += 1;
+                    }
+                    drop(wait);
+                    outputs[t] = Some(self.run_round_sequential(input, rng));
+                    continue;
+                }
+                let job = self.stage_round(input, rng);
+                metrics::PIPELINE_INFLIGHT.add(1);
+                {
+                    // The producer parks here while all `depth` slots are in flight —
+                    // the span makes backpressure visible in traces.
+                    let _wait = trace::span("protocol", "pipeline_wait").arg("round", t);
+                    assert!(jobs.push(t as u64, job), "pipeline decrypt stage terminated early");
+                }
+                submitted += 1;
+                while let Some((seq, out)) = finished.try_pop() {
+                    outputs[seq as usize] = Some(out);
+                    collected += 1;
+                }
+            }
+            jobs.close();
+            let wait =
+                trace::span("protocol", "pipeline_wait").arg("final_drain", submitted - collected);
+            while collected < submitted {
+                let (seq, out) = finished.pop().expect("decrypt stage died with rounds queued");
+                outputs[seq as usize] = Some(out);
+                collected += 1;
+            }
+            drop(wait);
+        });
+        outputs.into_iter().map(|out| out.expect("every round decrypted exactly once")).collect()
+    }
+
+    /// One round through the existing sequential entry points, shaped as a
+    /// [`RoundOutput`] — the reference the pipelined path must match bit for bit.
+    fn run_round_sequential<R: Rng + ?Sized>(
+        &self,
+        input: &RoundInput<'_>,
+        rng: &mut R,
+    ) -> RoundOutput {
+        match input.faulted {
+            Some(round) => {
+                let (aggregate, dropped, timings) = self.weighting_round_faulted(
+                    input.clipped_deltas,
+                    input.noises,
+                    input.sampled,
+                    round,
+                    rng,
+                );
+                RoundOutput { aggregate, dropped: Some(dropped), timings }
+            }
+            None => {
+                let (aggregate, timings) =
+                    self.weighting_round(input.clipped_deltas, input.noises, input.sampled, rng);
+                RoundOutput { aggregate, dropped: None, timings }
+            }
+        }
+    }
+
+    /// The producer half of one pipelined round: step 2.(a) (all caller-RNG draws, in
+    /// round order) plus the streaming cell fold of step 2.(b), yielding the decrypt
+    /// job the consumer finishes. Fault handling mirrors
+    /// [`PrivateWeightingProtocol::weighting_round_faulted`] for rounds the pipeline
+    /// does not drain for (stragglers and empty fault draws): the dropout mask is
+    /// all-false, so no cache invalidation is due.
+    fn stage_round<R: Rng + ?Sized>(&self, input: &RoundInput<'_>, rng: &mut R) -> DecryptJob {
+        let clipped_deltas = input.clipped_deltas;
+        let noises = input.noises;
+        assert_eq!(clipped_deltas.len(), self.num_silos, "one delta set per silo required");
+        assert_eq!(noises.len(), self.num_silos, "one noise vector per silo required");
+        let dim = noises[0].len();
+        assert!(dim > 0, "model dimension must be positive");
+
+        let enc_span = trace::timed_span("protocol", "server_encryption");
+        let (active, encrypted_inverses, cached) = self.distribute_inverses(input.sampled, rng);
+        let server_encryption = enc_span.finish();
+
+        let (dropped, reweight, delay) = match input.faulted {
+            None => (None, 1.0, Duration::ZERO),
+            Some(round) => {
+                let dropped = self.fault_plan.dropped_silos(round, self.num_silos);
+                let delayed = self.fault_plan.delayed_silos(round, self.num_silos);
+                debug_assert!(
+                    dropped.iter().all(|&d| !d),
+                    "rounds with dropouts drain the pipeline and run sequentially"
+                );
+                if uldp_telemetry::enabled() {
+                    for (silo, _) in delayed.iter().enumerate().filter(|(_, &d)| d) {
+                        metrics::FAULT_EVENTS.inc();
+                        trace::event(
+                            "fault",
+                            "delay",
+                            vec![
+                                ("round", round.into()),
+                                ("silo", silo.into()),
+                                ("delay_ms", self.fault_plan.delay_ms.into()),
+                            ],
+                        );
+                    }
+                }
+                let delayed_count = delayed.iter().filter(|&&d| d).count() as u64;
+                let delay = Duration::from_millis(self.fault_plan.delay_ms * delayed_count);
+                (Some(dropped), 1.0, delay)
+            }
+        };
+        let (totals, silo_weighting) = self.fold_round_totals(
+            clipped_deltas,
+            noises,
+            &active,
+            &encrypted_inverses,
+            dim,
+            dropped.as_deref(),
+            cached.as_ref(),
+        );
+        DecryptJob {
+            totals,
+            server_encryption,
+            silo_weighting: silo_weighting + delay,
+            reweight,
+            dropped,
+        }
+    }
+
     /// Runs one weighting round with **private user-level sub-sampling** via simulated
     /// 1-out-of-P oblivious transfer (the extension sketched in Section 4.1 of the paper).
     ///
@@ -998,6 +1277,36 @@ impl PrivateWeightingProtocol {
         dropped: Option<&[bool]>,
         cached: Option<&CachedRoundState>,
     ) -> (Vec<f64>, RoundTimings) {
+        let (totals, silo_weighting) = self.fold_round_totals(
+            clipped_deltas,
+            noises,
+            active,
+            encrypted_inverses,
+            dim,
+            dropped,
+            cached,
+        );
+        let (out, aggregation) = self.decrypt_totals(&totals);
+        (out, RoundTimings { server_encryption: Duration::ZERO, silo_weighting, aggregation })
+    }
+
+    /// The fold stage of one round — steps 2.(b) and the fused homomorphic cross-silo
+    /// sum — producing the per-coordinate ciphertext totals and the `silo_weighting`
+    /// wall-clock. This is the stage the round pipeline overlaps with the *previous*
+    /// round's [`PrivateWeightingProtocol::decrypt_totals`]: the two touch disjoint
+    /// key material (public vs secret) and disjoint state, and each is deterministic
+    /// in isolation, so overlap cannot change any bit of either.
+    #[allow(clippy::too_many_arguments)]
+    fn fold_round_totals(
+        &self,
+        clipped_deltas: &[Vec<Vec<f64>>],
+        noises: &[Vec<f64>],
+        active: &[u32],
+        encrypted_inverses: &[Ciphertext],
+        dim: usize,
+        dropped: Option<&[bool]>,
+        cached: Option<&CachedRoundState>,
+    ) -> (Vec<Ciphertext>, Duration) {
         let n = &self.paillier.public.n;
         let n_squared = &self.paillier.public.n_squared;
         let rt = &*self.runtime;
@@ -1221,21 +1530,25 @@ impl PrivateWeightingProtocol {
             .collect();
         debug_assert_eq!(totals.len(), dim);
         let silo_weighting = silo_span.finish();
+        (totals, silo_weighting)
+    }
 
-        // Step 2.(c) server side: parallel decryption — one CRT `c^λ mod n²` per
-        // coordinate — and fixed-point decoding. (The homomorphic cross-silo sum is
-        // fused into the streaming fold above.) The `aggregation` span covers decryption
-        // plus decoding; each coordinate's decrypt additionally carries its own nested
-        // `decryption` span so traces show where the phase's time actually goes.
+    /// The decrypt stage of one round — step 2.(c): batched CRT decryption of the
+    /// per-coordinate totals and fixed-point decoding. (The homomorphic cross-silo sum
+    /// is fused into the streaming fold.) The CRT contexts are hoisted once per batch
+    /// inside [`uldp_crypto::paillier::PaillierSecretKey::decrypt_batch`], so the
+    /// pipeline's
+    /// overlapped decrypt pass never re-derives per-round state. The `aggregation`
+    /// span covers decryption plus decoding, with one nested `decryption` span for the
+    /// batch itself.
+    fn decrypt_totals(&self, totals: &[Ciphertext]) -> (Vec<f64>, Duration) {
+        let rt = &*self.runtime;
         let agg_span = trace::timed_span("protocol", "aggregation");
-        let out: Vec<f64> = rt.par_map(&totals, |j, total| {
-            let dec_span = trace::span("protocol", "decryption").arg("coordinate", j);
-            let decrypted = self.paillier.secret.decrypt(total);
-            drop(dec_span);
-            self.codec.decode(&decrypted, &self.c_lcm)
-        });
-        let aggregation = agg_span.finish();
-        (out, RoundTimings { server_encryption: Duration::ZERO, silo_weighting, aggregation })
+        let dec_span = trace::span("protocol", "decryption").arg("coordinates", totals.len());
+        let decrypted = self.paillier.secret.decrypt_batch(rt, totals);
+        drop(dec_span);
+        let out: Vec<f64> = rt.par_map(&decrypted, |_, m| self.codec.decode(m, &self.c_lcm));
+        (out, agg_span.finish())
     }
 
     /// The plaintext value the protocol is supposed to compute:
@@ -1830,5 +2143,112 @@ mod tests {
             assert!((a - b).abs() < 1e-6, "secure {a} vs plaintext {b}");
         }
         assert!(protocol.cached_state_bytes() > 0);
+    }
+
+    #[test]
+    fn pipelined_replays_match_sequential_replays_bitwise_across_grid() {
+        // The tentpole determinism oracle: the same 4-round replay through the round
+        // pipeline at depth ∈ {1, 2, 3} must produce aggregates bit-identical to the
+        // sequential loop, at several (threads × chunk) points. The pipeline reorders
+        // when work happens, never what it computes.
+        let histogram = small_histogram();
+        let (deltas, noises) = deltas_and_noise(&histogram, 4, 102);
+        let run = |threads: usize, chunk_size: usize, depth: usize| {
+            let mut rng = StdRng::seed_from_u64(101);
+            let cfg = ProtocolConfig { threads, chunk_size, ..test_config() };
+            let protocol = PrivateWeightingProtocol::setup(&histogram, &cfg, &mut rng);
+            let inputs: Vec<RoundInput<'_>> =
+                (0..4).map(|_| RoundInput::new(&deltas, &noises)).collect();
+            let outputs = protocol.run_rounds_with_depth(&inputs, depth, &mut rng);
+            outputs
+                .iter()
+                .map(|o| o.aggregate.iter().map(|v| v.to_bits()).collect::<Vec<u64>>())
+                .collect::<Vec<_>>()
+        };
+        let sequential = run(1, usize::MAX, 0);
+        for (threads, chunk) in [(1, usize::MAX), (3, 1), (4, 5)] {
+            for depth in [1, 2, 3] {
+                assert_eq!(
+                    sequential,
+                    run(threads, chunk, depth),
+                    "threads={threads} chunk={chunk} depth={depth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_replay_drains_the_pipeline_and_invalidates_exactly_the_affected_entries() {
+        // A mid-replay dropout must (a) leave every aggregate and dropout mask
+        // bit-identical to the sequential loop and (b) invalidate exactly the users
+        // with records in the dropped silo — visible as the next round's fresh count —
+        // which requires the drain: an in-flight later round must not race the
+        // invalidation.
+        if fresh_encrypt_forced() {
+            return; // stats are trivially (4, 0) in bypass mode
+        }
+        let histogram = small_histogram();
+        // Same plan as dropout_invalidates_exactly_the_affected_users_entries: round 3
+        // drops exactly one of the three silos; other rounds draw empty fault sets.
+        let plan = FaultPlan { dropout_fraction: 0.4, seed: 77, ..FaultPlan::none() };
+        let (deltas, noises) = deltas_and_noise(&histogram, 4, 104);
+        let run = |depth: usize| {
+            let mut rng = StdRng::seed_from_u64(103);
+            let protocol =
+                PrivateWeightingProtocol::setup(&histogram, &faulted_config(plan), &mut rng);
+            // Only round index 3 runs under the plan (which drops one silo there); the
+            // rounds around it stay fault-free and overlap across the drain.
+            let inputs: Vec<RoundInput<'_>> = (0..5)
+                .map(|t| RoundInput {
+                    faulted: (t == 3).then_some(3),
+                    ..RoundInput::new(&deltas, &noises)
+                })
+                .collect();
+            let outputs = protocol.run_rounds_with_depth(&inputs, depth, &mut rng);
+            let stats = protocol.round_cache_stats();
+            let fingerprints = outputs
+                .iter()
+                .map(|o| {
+                    (
+                        o.aggregate.iter().map(|v| v.to_bits()).collect::<Vec<u64>>(),
+                        o.dropped.clone(),
+                    )
+                })
+                .collect::<Vec<_>>();
+            (fingerprints, stats)
+        };
+        let (sequential, seq_stats) = run(0);
+        let dropped_at_3 = sequential[3].1.as_ref().expect("faulted round reports a mask").clone();
+        assert_eq!(dropped_at_3.iter().filter(|&&d| d).count(), 1, "round 3 drops one silo");
+        for depth in [1, 2, 3] {
+            let (pipelined, pipe_stats) = run(depth);
+            assert_eq!(sequential, pipelined, "depth={depth}");
+            assert_eq!(seq_stats, pipe_stats, "depth={depth}");
+        }
+        // Round 4 (the one after the dropout) freshly re-encrypts exactly the affected
+        // users; the rest re-randomise — the invalidation landed, and landed once.
+        let affected = (0..4)
+            .filter(|&u| dropped_at_3.iter().enumerate().any(|(s, &d)| d && histogram[s][u] > 0))
+            .count();
+        assert!(affected > 0 && affected < 4, "the plan must split the users");
+        assert_eq!(seq_stats, (affected, 4 - affected));
+    }
+
+    #[test]
+    fn single_round_and_depth_zero_replays_take_the_sequential_path() {
+        // Replays too short to overlap fall back to the sequential loop outright; the
+        // outputs still match the per-round entry point exactly.
+        let histogram = small_histogram();
+        let (deltas, noises) = deltas_and_noise(&histogram, 3, 106);
+        let mut rng = StdRng::seed_from_u64(105);
+        let protocol = PrivateWeightingProtocol::setup(&histogram, &test_config(), &mut rng);
+        let inputs = [RoundInput::new(&deltas, &noises)];
+        let via_replay = protocol.run_rounds_with_depth(&inputs, 3, &mut rng.clone());
+        let (direct, _) = protocol.weighting_round(&deltas, &noises, None, &mut rng);
+        assert_eq!(
+            via_replay[0].aggregate.iter().map(|v| v.to_bits()).collect::<Vec<u64>>(),
+            direct.iter().map(|v| v.to_bits()).collect::<Vec<u64>>()
+        );
+        assert!(via_replay[0].dropped.is_none());
     }
 }

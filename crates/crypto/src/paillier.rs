@@ -40,6 +40,11 @@ use uldp_runtime::Runtime;
 /// sliding-window path instead.
 const FIXED_BASE_MIN_MULS: usize = 8;
 
+/// Ciphertexts per pooled chunk in [`PaillierSecretKey::decrypt_batch`]. Fixed (not
+/// thread-derived) so the chunk grid — and with it any telemetry — is identical at
+/// every pool size; small enough that a model-sized batch still fans out well.
+const DECRYPT_BATCH_CHUNK: usize = 2;
+
 /// Paillier public key.
 #[derive(Clone, Debug)]
 pub struct PaillierPublicKey {
@@ -559,6 +564,46 @@ impl PaillierSecretKey {
         m
     }
 
+    /// Decrypts a batch of ciphertexts on the worker pool, bitwise-identical to
+    /// per-item [`PaillierSecretKey::decrypt`] at any thread count.
+    ///
+    /// The CRT contexts for `p²`/`q²` are hoisted once for the whole batch and each
+    /// pooled chunk routes its half-width exponentiations through
+    /// [`ModulusCtx::mod_pow_batch`] over the shared contexts, so a multi-round caller
+    /// (the round pipeline's overlapped decrypt stage) never re-derives per-round
+    /// state. The chunk grid depends only on the batch length, never the pool size.
+    pub fn decrypt_batch(&self, rt: &Runtime, items: &[Ciphertext]) -> Vec<BigUint> {
+        uldp_telemetry::metrics::PAILLIER_DECRYPT.add(items.len() as u64);
+        if engine_disabled() {
+            return rt.par_map(items, |_, c| self.decrypt_generic(c));
+        }
+        let ctx_p2 = Arc::clone(self.ctx_p2());
+        let ctx_q2 = Arc::clone(self.ctx_q2());
+        let chunks = uldp_runtime::fold_chunk_ranges(items.len(), DECRYPT_BATCH_CHUNK);
+        let decrypted: Vec<Vec<BigUint>> = rt.par_map(&chunks, |_, range| {
+            let pairs = |sq: &BigUint, exp: &BigUint| -> Vec<(BigUint, BigUint)> {
+                range.clone().map(|i| (items[i].0.rem(sq), exp.clone())).collect()
+            };
+            let xs_p = ctx_p2.mod_pow_batch(&pairs(&self.p_squared, &self.exp_p));
+            let xs_q = ctx_q2.mod_pow_batch(&pairs(&self.q_squared, &self.exp_q));
+            xs_p.into_iter()
+                .zip(xs_q)
+                .map(|(x_p, x_q)| {
+                    let diff = mod_sub(&x_q, &x_p.rem(&self.q_squared), &self.q_squared);
+                    let h = mod_mul(&diff, &self.p2_inv_mod_q2, &self.q_squared);
+                    let x = x_p.add(&self.p_squared.mul(&h));
+                    mod_mul(&self.l_function(&x), &self.mu, &self.public.n)
+                })
+                .collect()
+        });
+        let out = decrypted.concat();
+        debug_assert!(
+            out.iter().zip(items).all(|(m, c)| *m == self.decrypt_generic(c)),
+            "batched CRT decryption must match the direct λ/μ path"
+        );
+        out
+    }
+
     /// Decrypts via the direct `c^λ mod n²` exponentiation with the schoolbook
     /// square-and-multiply (the seed implementation). Kept as the reference the CRT path
     /// is cross-checked against, and as the `ULDP_GENERIC_MODPOW=1` fallback.
@@ -629,6 +674,21 @@ mod tests {
             let c = kp.public.encrypt(&mut rng, &m);
             assert_eq!(kp.secret.decrypt(&c), m);
         }
+    }
+
+    #[test]
+    fn decrypt_batch_matches_per_item_decrypt_at_any_pool_size() {
+        let kp = keypair(256, 31);
+        let mut rng = StdRng::seed_from_u64(32);
+        // An odd batch length exercises the trailing partial chunk of the fixed grid.
+        let cts: Vec<Ciphertext> =
+            (0..7u64).map(|v| kp.public.encrypt(&mut rng, &BigUint::from_u64(v * v + 1))).collect();
+        let expect: Vec<BigUint> = cts.iter().map(|c| kp.secret.decrypt(c)).collect();
+        for threads in [1, 4] {
+            let rt = Runtime::new(threads);
+            assert_eq!(kp.secret.decrypt_batch(&rt, &cts), expect);
+        }
+        assert!(kp.secret.decrypt_batch(&Runtime::new(2), &[]).is_empty());
     }
 
     #[test]

@@ -41,10 +41,12 @@
 //! on work only workers can drain) without changing results — determinism never depends
 //! on where a task runs.
 
+pub mod handoff;
 pub mod seeding;
 
 mod pool;
 
+pub use handoff::{CloseOnDrop, Handoff};
 use pool::Pool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -61,6 +63,21 @@ pub const THREADS_ENV: &str = "ULDP_THREADS";
 /// it only trades transient memory (O(chunks × accumulator)) against load-balancing
 /// granularity.
 pub const CHUNK_ENV: &str = "ULDP_CHUNK";
+
+/// Name of the kill-switch for pipelined round execution. Set to `0`, `false` or `off`
+/// to force the sequential reference path everywhere; any other value (or unset) keeps
+/// the pipeline on. The pipeline only reorders when work happens — results are bitwise
+/// identical either way — so the switch exists for A/B timing and for bisecting.
+pub const PIPELINE_ENV: &str = "ULDP_PIPELINE";
+
+/// Name of the environment variable that overrides the pipeline depth (the number of
+/// rounds the fold stage may run ahead of the decrypt stage) for components left at
+/// `pipeline_depth = 0`. Must be a positive integer.
+pub const PIPELINE_DEPTH_ENV: &str = "ULDP_PIPELINE_DEPTH";
+
+/// Default number of in-flight rounds between the fold and decrypt stages: classic
+/// double buffering — one round being decrypted while the next is being folded.
+pub const DEFAULT_PIPELINE_DEPTH: usize = 2;
 
 /// How many chunks each worker gets on average in a `par_map`; > 1 smooths imbalance
 /// between chunks without making per-chunk overhead noticeable.
@@ -484,6 +501,43 @@ pub fn resolve_chunk_size(configured: usize, default_chunk: usize) -> usize {
     }
 }
 
+/// Whether pipelined round execution is enabled process-wide (the `ULDP_PIPELINE`
+/// kill-switch). Cached after the first read, like the engine toggles in `uldp-crypto`.
+pub fn pipeline_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| match std::env::var(PIPELINE_ENV) {
+        Ok(raw) => !matches!(raw.trim(), "0" | "false" | "FALSE" | "off" | "OFF"),
+        Err(_) => true,
+    })
+}
+
+/// Resolves a configured pipeline depth into an effective one: `0` when the
+/// `ULDP_PIPELINE` kill-switch disables overlap, otherwise a non-zero configuration
+/// wins, otherwise `ULDP_PIPELINE_DEPTH`, otherwise [`DEFAULT_PIPELINE_DEPTH`].
+///
+/// A return of `0` means "run the sequential reference path"; callers must not treat
+/// it as an unbounded queue.
+pub fn resolve_pipeline_depth(configured: usize) -> usize {
+    if !pipeline_enabled() {
+        return 0;
+    }
+    if configured != 0 {
+        return configured;
+    }
+    match std::env::var(PIPELINE_DEPTH_ENV) {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!(
+                    "warning: ignoring invalid {PIPELINE_DEPTH_ENV}={raw:?}; using the default"
+                );
+                DEFAULT_PIPELINE_DEPTH
+            }
+        },
+        Err(_) => DEFAULT_PIPELINE_DEPTH,
+    }
+}
+
 /// Splits `0..n` into at most `max_chunks` contiguous ranges of near-equal size.
 fn chunk_ranges(n: usize, max_chunks: usize) -> Vec<std::ops::Range<usize>> {
     let chunks = max_chunks.clamp(1, n.max(1));
@@ -741,6 +795,20 @@ mod tests {
         assert_eq!(resolve_chunk_size(5, 16), 5);
         if std::env::var(CHUNK_ENV).is_err() {
             assert_eq!(resolve_chunk_size(0, 16), 16);
+        }
+    }
+
+    #[test]
+    fn resolve_pipeline_depth_prefers_explicit_configuration() {
+        // As with the chunk knob, only the configured-value path is testable without
+        // mutating the process environment.
+        if pipeline_enabled() {
+            assert_eq!(resolve_pipeline_depth(3), 3);
+            if std::env::var(PIPELINE_DEPTH_ENV).is_err() {
+                assert_eq!(resolve_pipeline_depth(0), DEFAULT_PIPELINE_DEPTH);
+            }
+        } else {
+            assert_eq!(resolve_pipeline_depth(3), 0, "kill-switch overrides configuration");
         }
     }
 
